@@ -1,0 +1,61 @@
+// Shared helpers for the paper-exhibit benchmark harnesses.
+
+#ifndef HEF_BENCH_BENCH_UTIL_H_
+#define HEF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "perf/perf_counters.h"
+
+namespace hef::bench {
+
+struct Measurement {
+  double ms = 0;               // best-of-repetitions wall clock
+  PerfReading perf;            // counters for the best run (or invalid)
+};
+
+// Runs `fn` `repetitions` times (after one warm-up) and returns the
+// fastest run's wall clock and counters.
+inline Measurement MeasureBest(const std::function<void()>& fn,
+                               int repetitions, PerfCounters* counters) {
+  fn();  // warm-up
+  Measurement best;
+  best.ms = std::numeric_limits<double>::max();
+  for (int r = 0; r < repetitions; ++r) {
+    counters->Start();
+    Stopwatch sw;
+    fn();
+    const double ms = sw.ElapsedMillis();
+    const PerfReading reading = counters->Stop();
+    if (ms < best.ms) {
+      best.ms = ms;
+      best.perf = reading;
+    }
+  }
+  return best;
+}
+
+// Formats a counter column, "n/a" when the PMU was unavailable.
+inline std::string PerfNum(const PerfReading& r, double value, int digits) {
+  if (!r.valid) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+inline std::string CountScaled(const PerfReading& r, std::uint64_t count,
+                               double scale, int digits = 1) {
+  if (!r.valid) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f",
+                digits, static_cast<double>(count) / scale);
+  return buf;
+}
+
+}  // namespace hef::bench
+
+#endif  // HEF_BENCH_BENCH_UTIL_H_

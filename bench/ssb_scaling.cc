@@ -1,0 +1,103 @@
+// Scale trend across Figs. 8 -> 9 -> 10 in one harness: geometric-mean
+// speedups of HEF over Scalar / SIMD / Voila at several scale factors.
+// The paper's argument: hash tables move down the cache hierarchy as SF
+// grows, changing both the absolute times and who wins by how much.
+//
+//   ssb_scaling [--sfs=0.25,0.5,1] [--repetitions=3]
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/text_table.h"
+#include "engine/engine.h"
+#include "ssb/database.h"
+#include "voila/voila_engine.h"
+
+namespace hef {
+namespace {
+
+std::vector<double> ParseSfs(const std::string& text) {
+  std::vector<double> sfs;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    sfs.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return sfs;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("sfs", "0.25,0.5,1", "comma-separated scale factors");
+  flags.AddInt64("repetitions", 3, "measurement repetitions per query");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.HelpRequested()) {
+    flags.PrintUsage(argv[0]);
+    return 0;
+  }
+  const std::vector<double> sfs = ParseSfs(flags.GetString("sfs"));
+  const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+
+  std::printf("== SSB scale trend (Figs. 8-10 in one sweep) ==\n");
+  std::printf("geomean over the ten figure queries; hybrid at the "
+              "default v1s1p3 (the paper's SSB optimum) for "
+              "cross-scale comparability\n\n");
+
+  PerfCounters counters;
+  TextTable table;
+  table.AddRow({"SF", "lineorder rows", "HEF/Scalar", "HEF/SIMD",
+                "HEF/Voila", "HEF total (ms)"});
+
+  for (const double sf : sfs) {
+    const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(sf);
+    EngineConfig scalar_cfg;
+    scalar_cfg.flavor = Flavor::kScalar;
+    EngineConfig simd_cfg;
+    simd_cfg.flavor = Flavor::kSimd;
+    EngineConfig hybrid_cfg;
+    hybrid_cfg.flavor = Flavor::kHybrid;
+    SsbEngine scalar_engine(db, scalar_cfg);
+    SsbEngine simd_engine(db, simd_cfg);
+    SsbEngine hybrid_engine(db, hybrid_cfg);
+    VoilaEngine voila_engine(db);
+
+    double log_vs_scalar = 0, log_vs_simd = 0, log_vs_voila = 0;
+    double hef_total_ms = 0;
+    for (const QueryId query : PaperFigureQueries()) {
+      const double s = bench::MeasureBest(
+          [&] { scalar_engine.Run(query); }, repetitions, &counters).ms;
+      const double v = bench::MeasureBest(
+          [&] { simd_engine.Run(query); }, repetitions, &counters).ms;
+      const double o = bench::MeasureBest(
+          [&] { voila_engine.Run(query); }, repetitions, &counters).ms;
+      const double h = bench::MeasureBest(
+          [&] { hybrid_engine.Run(query); }, repetitions, &counters).ms;
+      log_vs_scalar += std::log(s / h);
+      log_vs_simd += std::log(v / h);
+      log_vs_voila += std::log(o / h);
+      hef_total_ms += h;
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    const double q = static_cast<double>(PaperFigureQueries().size());
+    table.AddRow({TextTable::Num(sf, 2), std::to_string(db.lineorder.n),
+                  TextTable::Num(std::exp(log_vs_scalar / q), 2) + "x",
+                  TextTable::Num(std::exp(log_vs_simd / q), 2) + "x",
+                  TextTable::Num(std::exp(log_vs_voila / q), 2) + "x",
+                  TextTable::Num(hef_total_ms, 0)});
+  }
+  std::printf("\n\n%s\n", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hef
+
+int main(int argc, char** argv) { return hef::Main(argc, argv); }

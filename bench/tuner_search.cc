@@ -1,0 +1,118 @@
+// Reproduces the search-cost analysis (§II-C Eq. 1/2, §IV-A/IV-C): the
+// size of the full (v, s, p) implementation space versus the nodes the
+// pruning optimizer actually generates and tests, for each built-in
+// operator, plus the candidate-generator seeds for each processor model.
+//
+// The paper's claim: the test-based approach with the two-stage initial
+// candidate and pruning finds the optimum while testing a small fraction
+// of the O(v*s*p) space.
+
+#include <cstdio>
+
+#include "algo/crc64.h"
+#include "algo/murmur.h"
+#include "algo/reduce.h"
+#include "common/flags.h"
+#include "common/text_table.h"
+#include "engine/primitives.h"
+#include "table/bloom_filter.h"
+#include "table/probe.h"
+#include "tuner/candidate_generator.h"
+#include "tuner/kernel_tuners.h"
+#include "tuner/search_space.h"
+
+namespace hef {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("elements", 1 << 15, "elements per tuning measurement");
+  flags.AddInt64("repetitions", 5, "repetitions per tuning measurement");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.HelpRequested()) {
+    flags.PrintUsage(argv[0]);
+    return 0;
+  }
+
+  std::printf("== tuner search-cost harness (paper Eq. 1/2, Alg. 2) ==\n\n");
+
+  // Candidate-generator seeds (the paper's two-stage model) per testbed.
+  TextTable seeds;
+  seeds.AddRow({"Operator", "silver4110 seed", "gold6240r seed"});
+  struct Op {
+    const char* name;
+    std::vector<OpClass> ops;
+  };
+  for (const Op& op : {Op{"murmur", MurmurKernel::Ops()},
+                       Op{"crc64", Crc64Kernel::Ops()},
+                       Op{"probe", ProbeKernel::Ops()},
+                       Op{"gather", GatherKernelOps()}}) {
+    seeds.AddRow(
+        {op.name,
+         GenerateInitialCandidate(ProcessorModel::Silver4110(),
+                                  {op.ops, Isa::kAvx512})
+             .ToString(),
+         GenerateInitialCandidate(ProcessorModel::Gold6240R(),
+                                  {op.ops, Isa::kAvx512})
+             .ToString()});
+  }
+  std::printf("Candidate-generator initial nodes (two-stage model):\n%s\n",
+              seeds.ToString().c_str());
+
+  // Pruning-search cost vs the full space, on the host.
+  KernelTuneOptions topt;
+  topt.elements = static_cast<std::size_t>(flags.GetInt64("elements"));
+  topt.repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+
+  TextTable table;
+  table.AddRow({"Operator", "grid size", "Eq.2 space", "nodes tested",
+                "tested (%)", "optimum", "best (ms/1M elems)"});
+  struct Tuned {
+    const char* name;
+    TuneResult result;
+    std::size_t grid;
+    std::uint64_t eq2;
+  };
+  const std::vector<Tuned> rows = {
+      {"murmur", TuneMurmur(topt), MurmurSupportedConfigs().size(),
+       SearchSpaceSize(2, 4, 4)},
+      {"crc64", TuneCrc64(topt), Crc64SupportedConfigs().size(),
+       SearchSpaceSize(8, 3, 3)},
+      {"probe", TuneProbe(topt), ProbeSupportedConfigs().size(),
+       SearchSpaceSize(2, 4, 3)},
+      {"gather", TuneGather(topt), GatherSupportedConfigs().size(),
+       SearchSpaceSize(2, 4, 3)},
+      {"bloom", TuneBloomProbe(topt), BloomProbeSupportedConfigs().size(),
+       SearchSpaceSize(4, 4, 3)},
+      {"sum", TuneSumReduce(topt), ReduceSupportedConfigs().size(),
+       SearchSpaceSize(2, 4, 4)},
+  };
+  for (const Tuned& row : rows) {
+    const double pct = 100.0 * row.result.nodes_tested /
+                       static_cast<double>(row.grid);
+    const double ms_per_m =
+        row.result.best_time * 1e3 / (static_cast<double>(topt.elements) / 1e6);
+    table.AddRow({row.name, std::to_string(row.grid),
+                  std::to_string(row.eq2),
+                  std::to_string(row.result.nodes_tested),
+                  TextTable::Num(pct, 0) + "%",
+                  row.result.best.ToString(),
+                  TextTable::Num(ms_per_m, 3)});
+  }
+  std::printf("Pruning search vs exhaustive (host measurements):\n%s\n",
+              table.ToString().c_str());
+  std::printf(
+      "Paper shape: nodes tested is a small fraction of the space, and the "
+      "optimum is a genuine hybrid/packed point for compute- and "
+      "gather-bound operators.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hef
+
+int main(int argc, char** argv) { return hef::Main(argc, argv); }

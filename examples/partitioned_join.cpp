@@ -1,0 +1,111 @@
+// Partitioned probing with radix partitioning: the cache-conscious join
+// strategy of the paper's related work ([2] Balkesen et al., [20] Kim et
+// al.), built from HEF operators. When a hash table outgrows the cache, a
+// direct probe takes a miss per lookup; radix-partitioning the probe keys
+// first makes each partition's slice of the table cache-resident.
+//
+//   ./build/examples/partitioned_join [--table-keys=2097152] [--bits=6]
+
+#include <cstdio>
+
+#include "common/aligned_buffer.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/text_table.h"
+#include "table/linear_hash_table.h"
+#include "table/probe.h"
+#include "table/radix_partition.h"
+
+namespace {
+
+using namespace hef;  // NOLINT: example brevity
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddInt64("table-keys", 1 << 21, "keys in the (DRAM-sized) table");
+  flags.AddInt64("probes", 1 << 22, "probe keys");
+  flags.AddInt64("bits", 6, "radix bits (2^bits partitions)");
+  flags.AddInt64("repetitions", 3, "measurement repetitions");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok() || flags.HelpRequested()) {
+    if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return st.ok() ? 0 : 1;
+  }
+  const auto table_keys =
+      static_cast<std::size_t>(flags.GetInt64("table-keys"));
+  const auto n = static_cast<std::size_t>(flags.GetInt64("probes"));
+  const int bits = static_cast<int>(flags.GetInt64("bits"));
+  const int reps = static_cast<int>(flags.GetInt64("repetitions"));
+
+  std::printf("building a %zu-key table (%.0f MiB of slabs)...\n",
+              table_keys, table_keys / 0.25 * 16.0 / (1 << 20));
+  LinearHashTable table(table_keys);
+  for (std::uint64_t k = 0; k < table_keys; ++k) table.Insert(k * 2 + 1, k);
+
+  AlignedBuffer<std::uint64_t> keys(n, 256), out(n, 256);
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.Uniform(0, table_keys * 2);
+  }
+
+  const HybridConfig probe_cfg{1, 1, 3};
+  auto best_of = [&](auto&& fn) {
+    fn();
+    double best = 1e18;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch sw;
+      fn();
+      best = std::min(best, sw.ElapsedSeconds());
+    }
+    return best * 1e9 / static_cast<double>(n);
+  };
+
+  // Strategy 1: direct probe of the full table.
+  const double direct_ns = best_of([&] {
+    ProbeArray(probe_cfg, table, keys.data(), out.data(), n);
+  });
+
+  // Strategy 2: radix-partition the probe keys, then probe partition by
+  // partition. The table itself is shared, but each partition's probes
+  // touch only 1/2^bits of its slabs, so the working set per phase fits
+  // higher in the hierarchy. (A full partitioned join would also
+  // partition the build side; the probe side dominates here.)
+  AlignedBuffer<std::uint64_t> part_keys(n, 256), scratch(n, 256),
+      part_out(n, 256);
+  const double partitioned_ns = best_of([&] {
+    const RadixPartitions parts =
+        RadixPartition(probe_cfg, keys.data(), nullptr, n, bits,
+                       scratch.data(), part_keys.data(), nullptr);
+    for (std::size_t p = 0; p < parts.NumPartitions(); ++p) {
+      const std::size_t begin = parts.offsets[p];
+      ProbeArray(probe_cfg, table, part_keys.data() + begin,
+                 part_out.data() + begin, parts.PartitionSize(p));
+    }
+  });
+
+  TextTable t;
+  t.AddRow({"strategy", "ns/probe"});
+  t.AddRow({"direct probe", TextTable::Num(direct_ns, 2)});
+  t.AddRow({"radix-partitioned (" + std::to_string(1 << bits) + " parts)",
+            TextTable::Num(partitioned_ns, 2)});
+  std::printf("\n%s\n", t.ToString().c_str());
+  std::printf(
+      "Note: partitioning pays when the table is much larger than the "
+      "LLC; at cache-resident sizes the extra pass is pure overhead. "
+      "Sweep --table-keys to find the crossover on your machine.\n");
+
+  // Sanity: both strategies see the same hit count.
+  std::size_t hits_direct = 0;
+  for (std::size_t i = 0; i < n; ++i) hits_direct += out[i] != kMissValue;
+  std::size_t hits_part = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    hits_part += part_out[i] != kMissValue;
+  }
+  std::printf("hits: direct %zu, partitioned %zu (%s)\n", hits_direct,
+              hits_part, hits_direct == hits_part ? "match" : "MISMATCH");
+  return hits_direct == hits_part ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "algo/crc64.h"
+
+#include <array>
+
+#include "hybrid/hybrid_grid.h"
+
+namespace hef {
+
+namespace {
+
+std::array<std::uint64_t, 256> BuildCrc64Table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (kCrc64JonesPolyReflected & (~(crc & 1) + 1));
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::uint64_t* Crc64Table() {
+  static const std::array<std::uint64_t, 256>* table =
+      new std::array<std::uint64_t, 256>(BuildCrc64Table());
+  return table->data();
+}
+
+std::uint64_t Crc64Bytes(const void* data, std::size_t len,
+                         std::uint64_t crc) {
+  const std::uint64_t* table = Crc64Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint64_t Crc64(std::uint64_t value, std::uint64_t crc) {
+  const std::uint64_t* table = Crc64Table();
+  for (int step = 0; step < 8; ++step) {
+    crc = table[(crc ^ value) & 0xff] ^ (crc >> 8);
+    value >>= 8;
+  }
+  return crc;
+}
+
+namespace {
+
+// The tuned optimum the paper reports for CRC64 is v8 s0 (pack hiding the
+// gather latency), so the grid extends to MaxV = 8; s and p stay modest to
+// bound compile time while covering the search paths the tuner takes.
+using Crc64Grid = HybridGrid<Crc64Kernel, /*MaxV=*/8, /*MaxS=*/3,
+                             /*MaxP=*/3>;
+
+}  // namespace
+
+void Crc64Array(const HybridConfig& cfg, const std::uint64_t* in,
+                std::uint64_t* out, std::size_t n) {
+  Crc64Kernel kernel;
+  kernel.table = Crc64Table();
+  Crc64Grid::Run(cfg, kernel, in, out, n);
+}
+
+const std::vector<HybridConfig>& Crc64SupportedConfigs() {
+  static const std::vector<HybridConfig>* configs =
+      new std::vector<HybridConfig>(Crc64Grid::Supported());
+  return *configs;
+}
+
+}  // namespace hef

@@ -1,0 +1,107 @@
+// CRC64 (Jones polynomial, as used by Redis) in scalar / SIMD / hybrid
+// flavours.
+//
+// The paper's second synthetic benchmark (§V-C, Tables VIII/IX): the
+// table-driven CRC update is a chain of L1-resident table lookups, which on
+// AVX-512 become vpgatherqq — latency 26 cycles, reciprocal throughput 5.
+// A single dependent chain stalls the core for the full latency; packing
+// multiple independent chains (the paper's `pack`) drops the interval to
+// the throughput, which is why the hybrid/packed implementation wins by
+// more than 2x here.
+
+#ifndef HEF_ALGO_CRC64_H_
+#define HEF_ALGO_CRC64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hid/hid.h"
+#include "hybrid/hybrid_config.h"
+#include "procinfo/instruction_table.h"
+
+namespace hef {
+
+// CRC-64/JONES: poly 0xad93d23594c935a9, reflected, init 0, xorout 0.
+// Check value: Crc64Bytes("123456789", 9) == 0xe9c6d914c4b8d9ca.
+inline constexpr std::uint64_t kCrc64JonesPolyReflected =
+    0x95ac9329ac4bc9b5ULL;
+
+// The 256-entry reflected lookup table (built once, immutable, 2 KiB —
+// L1-resident, which is exactly the paper's point).
+const std::uint64_t* Crc64Table();
+
+// Reference bytewise CRC over an arbitrary buffer.
+std::uint64_t Crc64Bytes(const void* data, std::size_t len,
+                         std::uint64_t crc = 0);
+
+// Reference CRC of a single 64-bit value (little-endian byte order), the
+// per-element operation the benchmark sweeps.
+std::uint64_t Crc64(std::uint64_t value, std::uint64_t crc = 0);
+
+// The HID operator template: eight dependent table lookups per element.
+struct Crc64Kernel {
+  const std::uint64_t* table = nullptr;  // Crc64Table()
+
+  template <typename B>
+  struct State {
+    typename B::Reg crc;
+    typename B::Reg data;
+  };
+
+  template <typename B>
+  HEF_INLINE void Load(State<B>& st, const std::uint64_t* in) const {
+    st.data = B::LoadU(in);
+    st.crc = B::Set1(0);
+  }
+
+  template <typename B>
+  HEF_INLINE void Compute(State<B>& st) const {
+    using Reg = typename B::Reg;
+    const Reg byte_mask = B::Set1(0xff);
+    Reg crc = st.crc;
+    Reg data = st.data;
+    // Eight byte steps; each step's gather depends on the previous crc —
+    // one latency-bound chain per (v, s, p) instance.
+    for (int step = 0; step < 8; ++step) {
+      const Reg idx = B::And(B::Xor(crc, data), byte_mask);
+      crc = B::Xor(B::Gather(table, idx), B::template Srli<8>(crc));
+      data = B::template Srli<8>(data);
+    }
+    st.crc = crc;
+  }
+
+  template <typename B>
+  HEF_INLINE void Store(std::uint64_t* out, const State<B>& st) const {
+    B::StoreU(out, st.crc);
+  }
+
+  // Op mix of one Compute body — input to the candidate generator. The
+  // dominant entry is the gather (latency/throughput = 26/5 on AVX-512).
+  static std::vector<OpClass> Ops() {
+    std::vector<OpClass> ops = {OpClass::kLoad, OpClass::kSet1};
+    for (int step = 0; step < 8; ++step) {
+      ops.push_back(OpClass::kXor);
+      ops.push_back(OpClass::kAnd);
+      ops.push_back(OpClass::kGather);
+      ops.push_back(OpClass::kShiftRight);
+      ops.push_back(OpClass::kXor);
+      ops.push_back(OpClass::kShiftRight);
+    }
+    ops.push_back(OpClass::kStore);
+    return ops;
+  }
+};
+
+// CRCs in[0..n) into out[0..n) using the hybrid implementation at `cfg`.
+void Crc64Array(const HybridConfig& cfg, const std::uint64_t* in,
+                std::uint64_t* out, std::size_t n);
+
+// All (v, s, p) coordinates precompiled for the CRC kernel. The grid
+// extends to v = 8 because the paper's tuned optimum on this workload is
+// eight SIMD statements with no scalar statements.
+const std::vector<HybridConfig>& Crc64SupportedConfigs();
+
+}  // namespace hef
+
+#endif  // HEF_ALGO_CRC64_H_

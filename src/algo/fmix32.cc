@@ -1,0 +1,34 @@
+#include "algo/fmix32.h"
+
+#include "hybrid/hybrid_grid.h"
+
+namespace hef {
+
+std::uint32_t Fmix32(std::uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bU;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35U;
+  h ^= h >> 16;
+  return h;
+}
+
+namespace {
+
+using Fmix32Grid = HybridGrid<Fmix32Kernel, /*MaxV=*/2, /*MaxS=*/4,
+                              /*MaxP=*/4, DefaultVectorBackend32>;
+
+}  // namespace
+
+void Fmix32Array(const HybridConfig& cfg, const std::uint32_t* in,
+                 std::uint32_t* out, std::size_t n) {
+  Fmix32Grid::Run(cfg, Fmix32Kernel{}, in, out, n);
+}
+
+const std::vector<HybridConfig>& Fmix32SupportedConfigs() {
+  static const std::vector<HybridConfig>* configs =
+      new std::vector<HybridConfig>(Fmix32Grid::Supported());
+  return *configs;
+}
+
+}  // namespace hef

@@ -1,0 +1,69 @@
+// MurmurHash3 32-bit finalizer (fmix32) in scalar / SIMD / hybrid
+// flavours over 32-bit lanes — the Table-II `vint32` demonstration kernel.
+// 32-bit dictionary codes are the dominant column type in real analytical
+// schemas, and a zmm register packs sixteen of them, so the hybrid
+// trade-off differs from the 64-bit kernels (twice the lanes per SIMD
+// statement, same scalar throughput).
+
+#ifndef HEF_ALGO_FMIX32_H_
+#define HEF_ALGO_FMIX32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hid/backend32.h"
+#include "hybrid/hybrid_config.h"
+#include "procinfo/instruction_table.h"
+
+namespace hef {
+
+// Reference scalar fmix32 (Appleby's MurmurHash3 finalizer).
+std::uint32_t Fmix32(std::uint32_t h);
+
+// The HID kernel over 32-bit lanes.
+struct Fmix32Kernel {
+  template <typename B>
+  struct State {
+    typename B::Reg h;
+  };
+
+  template <typename B>
+  HEF_INLINE void Load(State<B>& st, const std::uint32_t* in) const {
+    st.h = B::LoadU(in);
+  }
+
+  template <typename B>
+  HEF_INLINE void Compute(State<B>& st) const {
+    using Reg = typename B::Reg;
+    Reg h = st.h;
+    h = B::Xor(h, B::template Srli<16>(h));
+    h = B::Mul(h, B::Set1(0x85ebca6bU));
+    h = B::Xor(h, B::template Srli<13>(h));
+    h = B::Mul(h, B::Set1(0xc2b2ae35U));
+    st.h = B::Xor(h, B::template Srli<16>(h));
+  }
+
+  template <typename B>
+  HEF_INLINE void Store(std::uint32_t* out, const State<B>& st) const {
+    B::StoreU(out, st.h);
+  }
+
+  static std::vector<OpClass> Ops() {
+    return {OpClass::kLoad, OpClass::kShiftRight, OpClass::kXor,
+            OpClass::kMul,  OpClass::kShiftRight, OpClass::kXor,
+            OpClass::kMul,  OpClass::kShiftRight, OpClass::kXor,
+            OpClass::kStore};
+  }
+};
+
+// Hashes in[0..n) into out[0..n) under implementation `cfg`.
+void Fmix32Array(const HybridConfig& cfg, const std::uint32_t* in,
+                 std::uint32_t* out, std::size_t n);
+
+// All (v, s, p) coordinates precompiled for the fmix32 kernel.
+const std::vector<HybridConfig>& Fmix32SupportedConfigs();
+
+}  // namespace hef
+
+#endif  // HEF_ALGO_FMIX32_H_

@@ -1,0 +1,88 @@
+#include "algo/murmur.h"
+
+#include <cstring>
+
+#include "hybrid/hybrid_grid.h"
+
+namespace hef {
+
+std::uint64_t Murmur64(std::uint64_t key, std::uint64_t seed) {
+  const std::uint64_t m = kMurmurM;
+  const int r = kMurmurR;
+  std::uint64_t h = seed ^ (8ULL * m);
+  std::uint64_t k = key;
+  k *= m;
+  k ^= k >> r;
+  k *= m;
+  h ^= k;
+  h *= m;
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+std::uint64_t Murmur64Bytes(const void* data, std::size_t len,
+                            std::uint64_t seed) {
+  const std::uint64_t m = kMurmurM;
+  const int r = kMurmurR;
+  std::uint64_t h = seed ^ (len * m);
+
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::size_t blocks = len / 8;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    std::uint64_t k;
+    std::memcpy(&k, p + i * 8, 8);
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+
+  const unsigned char* tail = p + blocks * 8;
+  switch (len & 7) {
+    case 7: h ^= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: h ^= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: h ^= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: h ^= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: h ^= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: h ^= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      h ^= static_cast<std::uint64_t>(tail[0]);
+      h *= m;
+      break;
+    default:
+      break;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+namespace {
+
+// Grid bounds: the paper's Murmur optimum is v1 s3 p2 on the Silver 4110;
+// we compile v up to 2 (two AVX-512 statements cover the Gold's second
+// pipe), s up to 4 (all scalar ALUs), p up to 4.
+using MurmurGrid = HybridGrid<MurmurKernel, /*MaxV=*/2, /*MaxS=*/4,
+                              /*MaxP=*/4>;
+
+}  // namespace
+
+void MurmurHashArray(const HybridConfig& cfg, const std::uint64_t* in,
+                     std::uint64_t* out, std::size_t n, std::uint64_t seed) {
+  MurmurKernel kernel;
+  kernel.seed = seed;
+  MurmurGrid::Run(cfg, kernel, in, out, n);
+}
+
+const std::vector<HybridConfig>& MurmurSupportedConfigs() {
+  static const std::vector<HybridConfig>* configs =
+      new std::vector<HybridConfig>(MurmurGrid::Supported());
+  return *configs;
+}
+
+}  // namespace hef

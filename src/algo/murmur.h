@@ -1,0 +1,95 @@
+// MurmurHash64A in scalar / SIMD / hybrid flavours.
+//
+// The paper uses MurmurHash both as the hash function of its join hash
+// tables and as the compute-bound synthetic benchmark (§V-C, Tables VI/VII):
+// its body is a chain of multiply / shift / xor operations whose AVX-512
+// form (vpmullq, latency 15) leaves scalar ALUs idle — the ideal showcase
+// for hybrid execution. The kernel below is the Fig. 6(a) operator template
+// expressed against the hybrid intermediate description.
+
+#ifndef HEF_ALGO_MURMUR_H_
+#define HEF_ALGO_MURMUR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hid/hid.h"
+#include "hybrid/hybrid_config.h"
+#include "procinfo/instruction_table.h"
+
+namespace hef {
+
+inline constexpr std::uint64_t kMurmurM = 0xc6a4a7935bd1e995ULL;
+inline constexpr int kMurmurR = 47;
+inline constexpr std::uint64_t kMurmurDefaultSeed = 0x8445d61a4e774912ULL;
+
+// Reference scalar MurmurHash64A of one 64-bit key (Appleby's algorithm
+// specialized to an 8-byte message).
+std::uint64_t Murmur64(std::uint64_t key,
+                       std::uint64_t seed = kMurmurDefaultSeed);
+
+// Reference scalar MurmurHash64A over an arbitrary byte buffer (the
+// original full algorithm, used by tests to pin the specialization above).
+std::uint64_t Murmur64Bytes(const void* data, std::size_t len,
+                            std::uint64_t seed = kMurmurDefaultSeed);
+
+// The HID operator template for per-element Murmur hashing (Fig. 6(a)).
+struct MurmurKernel {
+  std::uint64_t seed = kMurmurDefaultSeed;
+
+  template <typename B>
+  struct State {
+    typename B::Reg h;
+  };
+
+  template <typename B>
+  HEF_INLINE void Load(State<B>& st, const std::uint64_t* in) const {
+    st.h = B::LoadU(in);
+  }
+
+  template <typename B>
+  HEF_INLINE void Compute(State<B>& st) const {
+    using Reg = typename B::Reg;
+    const Reg m = B::Set1(kMurmurM);
+    // Body: k *= m; k ^= k >> r; k *= m;
+    Reg k = B::Mul(st.h, m);
+    k = B::Xor(k, B::template Srli<kMurmurR>(k));
+    k = B::Mul(k, m);
+    // h = (seed ^ (8 * m)); h ^= k; h *= m;
+    Reg h = B::Set1(seed ^ (8ULL * kMurmurM));
+    h = B::Xor(h, k);
+    h = B::Mul(h, m);
+    // Finalization: h ^= h >> r; h *= m; h ^= h >> r;
+    h = B::Xor(h, B::template Srli<kMurmurR>(h));
+    h = B::Mul(h, m);
+    st.h = B::Xor(h, B::template Srli<kMurmurR>(h));
+  }
+
+  template <typename B>
+  HEF_INLINE void Store(std::uint64_t* out, const State<B>& st) const {
+    B::StoreU(out, st.h);
+  }
+
+  // Op mix of one Compute body — input to the candidate generator.
+  static std::vector<OpClass> Ops() {
+    return {OpClass::kLoad, OpClass::kMul,        OpClass::kShiftRight,
+            OpClass::kXor,  OpClass::kMul,        OpClass::kXor,
+            OpClass::kMul,  OpClass::kShiftRight, OpClass::kXor,
+            OpClass::kMul,  OpClass::kShiftRight, OpClass::kXor,
+            OpClass::kStore};
+  }
+};
+
+// Hashes in[0..n) into out[0..n) using the hybrid implementation at `cfg`.
+// Aborts if cfg is outside the compiled grid; query MurmurSupportedConfigs().
+void MurmurHashArray(const HybridConfig& cfg, const std::uint64_t* in,
+                     std::uint64_t* out, std::size_t n,
+                     std::uint64_t seed = kMurmurDefaultSeed);
+
+// All (v, s, p) coordinates precompiled for the Murmur kernel.
+const std::vector<HybridConfig>& MurmurSupportedConfigs();
+
+}  // namespace hef
+
+#endif  // HEF_ALGO_MURMUR_H_

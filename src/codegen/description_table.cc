@@ -1,0 +1,87 @@
+#include "codegen/description_table.h"
+
+namespace hef {
+
+DescriptionTable DescriptionTable::Builtin() {
+  DescriptionTable t;
+  t.AddOp("hi_add_epi64",
+          {2, false, "{dst} = {a} + {b};",
+           "{dst} = _mm256_add_epi64({a}, {b});",
+           "{dst} = _mm512_add_epi64({a}, {b});"});
+  t.AddOp("hi_sub_epi64",
+          {2, false, "{dst} = {a} - {b};",
+           "{dst} = _mm256_sub_epi64({a}, {b});",
+           "{dst} = _mm512_sub_epi64({a}, {b});"});
+  t.AddOp("hi_mullo_epi64",
+          {2, false, "{dst} = {a} * {b};",
+           // AVX2 lacks vpmullq; the table lowers to the helper emitted in
+           // the generated prelude (see translator).
+           "{dst} = hef_mullo_epi64_avx2({a}, {b});",
+           "{dst} = _mm512_mullo_epi64({a}, {b});"});
+  t.AddOp("hi_and_epi64",
+          {2, false, "{dst} = {a} & {b};",
+           "{dst} = _mm256_and_si256({a}, {b});",
+           "{dst} = _mm512_and_si512({a}, {b});"});
+  t.AddOp("hi_or_epi64",
+          {2, false, "{dst} = {a} | {b};",
+           "{dst} = _mm256_or_si256({a}, {b});",
+           "{dst} = _mm512_or_si512({a}, {b});"});
+  t.AddOp("hi_xor_epi64",
+          {2, false, "{dst} = {a} ^ {b};",
+           "{dst} = _mm256_xor_si256({a}, {b});",
+           "{dst} = _mm512_xor_si512({a}, {b});"});
+  t.AddOp("hi_srli_epi64",
+          {1, true, "{dst} = {a} >> {imm};",
+           "{dst} = _mm256_srli_epi64({a}, {imm});",
+           "{dst} = _mm512_srli_epi64({a}, {imm});"});
+  t.AddOp("hi_slli_epi64",
+          {1, true, "{dst} = {a} << {imm};",
+           "{dst} = _mm256_slli_epi64({a}, {imm});",
+           "{dst} = _mm512_slli_epi64({a}, {imm});"});
+  t.AddOp("hi_load_epi64",
+          {1, false, "{dst} = *({a});",
+           "{dst} = _mm256_loadu_si256((const __m256i*)({a}));",
+           "{dst} = _mm512_loadu_si512({a});"});
+  t.AddOp("hi_store_epi64",
+          {2, false, "*({a}) = {b};",
+           "_mm256_storeu_si256((__m256i*)({a}), {b});",
+           "_mm512_storeu_si512({a}, {b});"});
+  t.AddOp("hi_gather_epi64",
+          {2, false, "{dst} = ({a})[{b}];",
+           "{dst} = _mm256_i64gather_epi64((const long long*)({a}), {b}, "
+           "8);",
+           "{dst} = _mm512_i64gather_epi64({b}, {a}, 8);"});
+  return t;
+}
+
+void DescriptionTable::AddOp(const std::string& name, OpPattern pattern) {
+  ops_[name] = std::move(pattern);
+}
+
+bool DescriptionTable::Contains(const std::string& name) const {
+  return ops_.count(name) != 0;
+}
+
+Result<OpPattern> DescriptionTable::Lookup(const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    return Status::NotFound("no description table entry for '" + name + "'");
+  }
+  return it->second;
+}
+
+const char* DescriptionTable::RegType(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "uint64_t";
+    case Isa::kAvx2:
+      return "__m256i";
+    case Isa::kAvx512:
+      return "__m512i";
+  }
+  return "uint64_t";
+}
+
+int DescriptionTable::Lanes(Isa isa) { return IsaLanes64(isa); }
+
+}  // namespace hef

@@ -1,0 +1,65 @@
+// Description tables: the mapping from hybrid intermediate description ops
+// to concrete scalar / AVX2 / AVX-512 statements (paper Table I and the
+// "description table" inputs of Fig. 4/5). The translator instantiates
+// these patterns when expanding an operator template.
+//
+// Pattern placeholders: {dst} {a} {b} destination/source variables,
+// {imm} immediate operand (shifts).
+
+#ifndef HEF_CODEGEN_DESCRIPTION_TABLE_H_
+#define HEF_CODEGEN_DESCRIPTION_TABLE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "procinfo/cpu_features.h"
+
+namespace hef {
+
+struct OpPattern {
+  // Number of variable arguments the op consumes (1 or 2). Shifts consume
+  // one variable plus {imm}.
+  int arity = 2;
+  bool has_immediate = false;
+  std::string scalar;
+  std::string avx2;
+  std::string avx512;
+
+  const std::string& ForIsa(Isa isa) const {
+    switch (isa) {
+      case Isa::kScalar:
+        return scalar;
+      case Isa::kAvx2:
+        return avx2;
+      case Isa::kAvx512:
+        return avx512;
+    }
+    return scalar;
+  }
+};
+
+class DescriptionTable {
+ public:
+  // The built-in table covering every Table-I op the templates use.
+  static DescriptionTable Builtin();
+
+  // Registers or replaces an op (users extend the table for customized
+  // operators, §VII).
+  void AddOp(const std::string& name, OpPattern pattern);
+
+  bool Contains(const std::string& name) const;
+  Result<OpPattern> Lookup(const std::string& name) const;
+
+  // Register type / variable declaration spellings per ISA.
+  static const char* RegType(Isa isa);
+  // 64-bit lanes per register.
+  static int Lanes(Isa isa);
+
+ private:
+  std::map<std::string, OpPattern> ops_;
+};
+
+}  // namespace hef
+
+#endif  // HEF_CODEGEN_DESCRIPTION_TABLE_H_

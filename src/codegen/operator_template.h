@@ -1,0 +1,67 @@
+// Operator templates: the paper's representation of an operator written
+// once in the hybrid intermediate description (Fig. 6(a)), parsed from a
+// small line-oriented language that the translator (Algorithm 1) expands
+// into concrete hybrid code.
+//
+// Template grammar (one statement per line, '#' comments):
+//
+//   operator <name>
+//   ptr <name>                      # optional pointer parameter (gathers)
+//   const <name> = <integer>        # constant: one scalar + one SIMD copy
+//   var <name>                      # hybrid variable: unrolled per instance
+//   body:
+//   <dst> = hi_load_epi64(IN)       # stream load (offset per instance)
+//   <dst> = hi_<op>(<a>[, <b>])     # computational statement
+//   <dst> = hi_srli_epi64(<a>, <imm>)
+//   <dst> = hi_gather_epi64(<ptr>, <idx>)
+//   hi_store_epi64(OUT, <src>)      # stream store
+//
+// Declarations must precede the body (the translator's rule, §IV-B), and
+// nested calls are not allowed — exactly one HID op per line.
+
+#ifndef HEF_CODEGEN_OPERATOR_TEMPLATE_H_
+#define HEF_CODEGEN_OPERATOR_TEMPLATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hef {
+
+struct TemplateStatement {
+  std::string op;                  // "hi_mullo_epi64", ...
+  std::string dst;                 // empty for stores
+  std::vector<std::string> args;   // variable / constant / ptr names, or
+                                   // "IN" / "OUT" stream markers
+  std::uint64_t immediate = 0;     // shift counts
+  bool has_immediate = false;
+};
+
+struct OperatorTemplate {
+  std::string name;
+  std::vector<std::string> pointer_params;           // at most one
+  std::map<std::string, std::uint64_t> constants;    // name -> value
+  std::vector<std::string> variables;
+  std::vector<TemplateStatement> body;
+
+  // Parses and validates a template. Errors carry the offending line.
+  static Result<OperatorTemplate> Parse(const std::string& text);
+
+  // Reads and parses a template file (IoError if unreadable).
+  static Result<OperatorTemplate> ParseFile(const std::string& path);
+
+  bool IsVariable(const std::string& n) const;
+  bool IsConstant(const std::string& n) const;
+  bool IsPointer(const std::string& n) const;
+};
+
+// Templates for the paper's two synthetic operators.
+std::string BuiltinMurmurTemplate();
+std::string BuiltinCrc64Template();
+
+}  // namespace hef
+
+#endif  // HEF_CODEGEN_OPERATOR_TEMPLATE_H_

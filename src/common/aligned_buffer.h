@@ -1,0 +1,122 @@
+// 64-byte-aligned typed buffers for SIMD kernels.
+//
+// AVX-512 loads/stores are fastest (and _mm512_load_* is only legal) on
+// 64-byte-aligned addresses; every column and hash-table slab in HEF is
+// allocated through AlignedBuffer so kernels can use aligned accesses and
+// never split cache lines.
+
+#ifndef HEF_COMMON_ALIGNED_BUFFER_H_
+#define HEF_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace hef {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// A move-only, 64-byte aligned array of trivially copyable T. Unlike
+// std::vector it guarantees alignment, never reallocates behind the caller's
+// back, and rounds the allocation up to a whole number of cache lines so
+// SIMD kernels may safely over-read up to the line boundary of the tail.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer only holds trivially copyable element types");
+
+ public:
+  AlignedBuffer() = default;
+
+  // Allocates `size` elements. `padding_elems` extra elements are allocated
+  // (but not counted in size()) so vector kernels may over-read/over-write
+  // past the logical end; they are zero-initialized.
+  explicit AlignedBuffer(std::size_t size, std::size_t padding_elems = 0) {
+    Allocate(size, padding_elems);
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  HEF_DISALLOW_COPY_AND_ASSIGN(AlignedBuffer);
+
+  ~AlignedBuffer() { Free(); }
+
+  // Discards current contents and allocates a fresh zeroed region.
+  void Allocate(std::size_t size, std::size_t padding_elems = 0) {
+    Free();
+    size_ = size;
+    std::size_t bytes = (size + padding_elems) * sizeof(T);
+    // Round up to whole cache lines; keep a minimum of one line so data()
+    // is never null for zero-size buffers used as sentinels.
+    bytes = ((bytes + kCacheLineBytes - 1) / kCacheLineBytes) *
+            kCacheLineBytes;
+    if (bytes == 0) {
+      bytes = kCacheLineBytes;
+    }
+    capacity_ = bytes / sizeof(T);
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    HEF_CHECK_MSG(data_ != nullptr, "aligned_alloc of %zu bytes failed",
+                  bytes);
+    std::memset(data_, 0, bytes);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // Elements actually allocated (size + padding, rounded to cache lines).
+  std::size_t capacity() const { return capacity_; }
+
+  T& operator[](std::size_t i) {
+    HEF_DCHECK(i < capacity_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    HEF_DCHECK(i < capacity_);
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void Fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      data_[i] = value;
+    }
+  }
+
+ private:
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace hef
+
+#endif  // HEF_COMMON_ALIGNED_BUFFER_H_

@@ -1,0 +1,66 @@
+// Core macros shared by every HEF module.
+//
+// HEF library code does not use exceptions (recoverable errors are
+// represented with hef::Status / hef::Result). Invariant violations and
+// programming errors abort through HEF_CHECK, which prints the failing
+// condition and location before calling std::abort().
+
+#ifndef HEF_COMMON_MACROS_H_
+#define HEF_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Force-inline marker for hot kernel statements. The hybrid runner relies on
+// the compiler flattening kernel stages so each (v, s, p) instance becomes a
+// straight-line statement group, as in the paper's generated code (Fig. 6).
+#define HEF_INLINE inline __attribute__((always_inline))
+
+// Never-inline marker, used to pin measurement boundaries in benchmarks.
+#define HEF_NOINLINE __attribute__((noinline))
+
+#define HEF_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define HEF_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+// Restrict-qualified pointer helper for kernel signatures.
+#define HEF_RESTRICT __restrict__
+
+// Aborts with a message when `condition` is false. Active in all build
+// types: kernel correctness bugs must never be silently optimized away in
+// Release benchmarking builds.
+#define HEF_CHECK(condition)                                              \
+  do {                                                                    \
+    if (HEF_UNLIKELY(!(condition))) {                                     \
+      std::fprintf(stderr, "HEF_CHECK failed: %s at %s:%d\n", #condition, \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+// HEF_CHECK with a printf-style explanation appended.
+#define HEF_CHECK_MSG(condition, ...)                                     \
+  do {                                                                    \
+    if (HEF_UNLIKELY(!(condition))) {                                     \
+      std::fprintf(stderr, "HEF_CHECK failed: %s at %s:%d: ", #condition, \
+                   __FILE__, __LINE__);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+// Debug-only check; compiled out of Release kernels where the cost would
+// perturb measurements.
+#ifdef NDEBUG
+#define HEF_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#else
+#define HEF_DCHECK(condition) HEF_CHECK(condition)
+#endif
+
+#define HEF_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // HEF_COMMON_MACROS_H_

@@ -1,0 +1,125 @@
+// Error handling without exceptions: hef::Status for operations that can
+// fail, hef::Result<T> for fallible value producers. Modeled on the
+// Arrow/Abseil convention the coding guides in this repository follow.
+
+#ifndef HEF_COMMON_STATUS_H_
+#define HEF_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace hef {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnsupported,
+  kIoError,
+  kInternal,
+};
+
+// Returns a short human-readable name ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap, copyable success-or-error value. The OK status carries no
+// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-Status union. `value()` aborts if the result holds an error;
+// call `ok()` (or `status()`) first on fallible paths.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // at call sites, matching the Arrow/Abseil Result idiom.
+  Result(T value) : value_(std::move(value)) {}   // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    HEF_CHECK_MSG(!std::get<Status>(value_).ok(),
+                  "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    HEF_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(value_).ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    HEF_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(value_).ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    HEF_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  std::get<Status>(value_).ToString().c_str());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define HEF_RETURN_NOT_OK(expr)          \
+  do {                                   \
+    ::hef::Status _st = (expr);          \
+    if (HEF_UNLIKELY(!_st.ok())) {       \
+      return _st;                        \
+    }                                    \
+  } while (0)
+
+}  // namespace hef
+
+#endif  // HEF_COMMON_STATUS_H_

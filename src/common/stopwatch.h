@@ -1,0 +1,48 @@
+// Wall-clock measurement helpers for the benchmark harnesses.
+
+#ifndef HEF_COMMON_STOPWATCH_H_
+#define HEF_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hef {
+
+// Monotonic nanosecond stopwatch. Start() resets, Elapsed*() reads without
+// stopping, so a single Stopwatch can bracket multiple phases.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  std::uint64_t ElapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Prevents the compiler from optimizing away a computed value. Used to pin
+// benchmark kernels whose results are otherwise dead.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace hef
+
+#endif  // HEF_COMMON_STOPWATCH_H_

@@ -1,0 +1,78 @@
+#include "common/text_table.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hef {
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'x' &&
+               c != '%') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+std::string TextTable::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  if (rows_.empty()) return "";
+  std::size_t cols = 0;
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      const bool right = LooksNumeric(cell);
+      const std::size_t pad = width[c] - cell.size();
+      if (right) out.append(pad, ' ');
+      out += cell;
+      if (!right) out.append(pad, ' ');
+      if (c + 1 < cols) out += "  ";
+    }
+    out += '\n';
+    if (r == 0 && has_header_) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        out.append(width[c], '-');
+        if (c + 1 < cols) out += "  ";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hef

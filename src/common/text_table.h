@@ -1,0 +1,41 @@
+// Aligned text-table rendering for benchmark harness output. The paper
+// exhibits (Tables III-IX, Figures 8-14) are printed as plain-text tables so
+// bench output is directly comparable to the paper's rows/series.
+
+#ifndef HEF_COMMON_TEXT_TABLE_H_
+#define HEF_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hef {
+
+// Collects rows of cells and renders them with per-column alignment.
+// First AddRow() call after construction is treated as the header when
+// `has_header` is true.
+class TextTable {
+ public:
+  explicit TextTable(bool has_header = true) : has_header_(has_header) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Convenience: formats a double with `digits` decimals.
+  static std::string Num(double value, int digits = 2);
+
+  // Renders the table with two-space column gaps and a dashed rule under the
+  // header. Numeric-looking cells are right-aligned.
+  std::string ToString() const;
+
+  // Renders rows as comma-separated values (for downstream plotting).
+  std::string ToCsv() const;
+
+ private:
+  bool has_header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hef
+
+#endif  // HEF_COMMON_TEXT_TABLE_H_

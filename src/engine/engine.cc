@@ -1,0 +1,339 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/macros.h"
+#include "engine/primitives.h"
+#include "engine/scan.h"
+#include "engine/star_plan.h"
+#include "table/bloom_filter.h"
+#include "table/group_agg.h"
+#include "table/probe.h"
+
+namespace hef {
+
+struct SsbEngine::Impl {
+  const ssb::SsbDatabase& db;
+  EngineConfig config;
+
+  // One worker's pipeline scratch buffers (each thread owns a set).
+  struct Buffers {
+    AlignedBuffer<std::uint64_t> rows, keys, vals_a, vals_b, pos, scratch,
+        bloom_out, bitmap_a, bitmap_b;
+    std::array<AlignedBuffer<std::uint64_t>, 4> payloads;
+
+    explicit Buffers(std::size_t block) {
+      rows.Allocate(block, 64);
+      keys.Allocate(block, 64);
+      vals_a.Allocate(block, 64);
+      vals_b.Allocate(block, 64);
+      pos.Allocate(block, 64);
+      scratch.Allocate(block, 64);
+      bloom_out.Allocate(block, 64);
+      bitmap_a.Allocate(BitmapWords(block), 8);
+      bitmap_b.Allocate(BitmapWords(block), 8);
+      for (auto& p : payloads) p.Allocate(block, 64);
+    }
+  };
+
+  // Buffers for the single-threaded path, built once per engine.
+  Buffers main_buffers;
+
+  Impl(const ssb::SsbDatabase& database, EngineConfig cfg)
+      : db(database),
+        config(cfg),
+        main_buffers(static_cast<std::size_t>(cfg.block_size)) {
+    HEF_CHECK_MSG(config.block_size >= 64, "block size %d too small",
+                  config.block_size);
+    HEF_CHECK_MSG(config.threads >= 1 && config.threads <= 256,
+                  "thread count %d out of range", config.threads);
+  }
+
+  // Builds one Bloom filter per join stage from the dimension tables'
+  // key slabs (only when bloom_prefilter is enabled).
+  std::vector<std::unique_ptr<BloomFilter>> BuildBlooms(
+      const StarPlan& plan) const {
+    std::vector<std::unique_ptr<BloomFilter>> blooms;
+    if (!config.bloom_prefilter) return blooms;
+    for (const JoinStage& j : plan.joins) {
+      auto bloom = std::make_unique<BloomFilter>(j.table->size());
+      for (std::size_t slot = 0; slot < j.table->capacity(); ++slot) {
+        const std::uint64_t key = j.table->keys()[slot];
+        if (key != kEmptyKey) bloom->Insert(key);
+      }
+      blooms.push_back(std::move(bloom));
+    }
+    return blooms;
+  }
+
+  // Runs the pipeline over fact rows [row_begin, row_end), accumulating
+  // into the caller's agg/cnt arrays (sized plan.gid_domain).
+  void ExecuteRange(const StarPlan& plan,
+                    const std::vector<std::unique_ptr<BloomFilter>>& blooms,
+                    Buffers& buf, std::size_t row_begin,
+                    std::size_t row_end, std::vector<std::uint64_t>& agg,
+                    std::vector<std::uint64_t>& cnt,
+                    std::uint64_t* qualifying_out) {
+    const HybridConfig probe_cfg = config.ProbeConfig();
+    const HybridConfig gather_cfg = config.GatherConfig();
+    const Flavor flavor = config.flavor;
+    const auto block = static_cast<std::size_t>(config.block_size);
+
+    auto& rows = buf.rows;
+    auto& keys = buf.keys;
+    auto& vals_a = buf.vals_a;
+    auto& vals_b = buf.vals_b;
+    auto& pos = buf.pos;
+    auto& scratch = buf.scratch;
+    auto& bloom_out = buf.bloom_out;
+    auto& bitmap_a = buf.bitmap_a;
+    auto& bitmap_b = buf.bitmap_b;
+    auto& payloads = buf.payloads;
+
+    std::uint64_t qualifying = 0;
+
+    // Payload slots probed so far in the current block (schema-order slot
+    // ids; probe order may differ after the selectivity sort).
+    std::array<int, 4> probed_slots{};
+    int probed_count = 0;
+
+    for (std::size_t b0 = row_begin; b0 < row_end; b0 += block) {
+      const std::size_t bn = std::min(block, row_end - b0);
+      std::size_t n = bn;
+      bool identity = true;  // rows == [b0, b0 + n)
+      probed_count = 0;
+
+      // Applies the survivor positions in pos[0..m) to the row-id vector
+      // and all live payload vectors.
+      auto apply_selection = [&](std::size_t m) {
+        if (identity) {
+          for (std::size_t i = 0; i < m; ++i) rows[i] = b0 + pos[i];
+          identity = false;
+        } else {
+          GatherArray(gather_cfg, rows.data(), pos.data(), scratch.data(),
+                      m);
+          std::swap(rows, scratch);
+        }
+        for (int k = 0; k < probed_count; ++k) {
+          auto& payload = payloads[probed_slots[k]];
+          GatherArray(gather_cfg, payload.data(), pos.data(),
+                      scratch.data(), m);
+          std::swap(payload, scratch);
+        }
+        n = m;
+      };
+
+      // Fetches a fact column for the current selection.
+      auto fetch = [&](const ssb::Column& col,
+                       AlignedBuffer<std::uint64_t>& out)
+          -> const std::uint64_t* {
+        if (identity) return col.data() + b0;
+        GatherArray(gather_cfg, col.data(), rows.data(), out.data(), n);
+        return out.data();
+      };
+
+      // Range filters: either compact after every predicate (the
+      // vectorized-pipeline default) or evaluate all predicates as
+      // bitmaps and conjoin once (fused selection scans).
+      if (config.fused_filters && plan.filters.size() >= 2) {
+        // Filters precede joins in every plan, so the selection is still
+        // the identity here and columns can be scanned in place.
+        std::size_t live = 0;
+        for (std::size_t fi = 0; fi < plan.filters.size(); ++fi) {
+          const RangeFilter& f = plan.filters[fi];
+          std::uint64_t* target =
+              fi == 0 ? bitmap_a.data() : bitmap_b.data();
+          live = ScanRangeBitmap(flavor, f.col->data() + b0, n, f.lo, f.hi,
+                                 target);
+          if (fi > 0) {
+            live = BitmapAnd(bitmap_a.data(), bitmap_b.data(), n);
+          }
+          if (live == 0) break;
+        }
+        const std::size_t m =
+            live == 0 ? 0
+                      : BitmapToPositions(bitmap_a.data(), n, pos.data());
+        apply_selection(m);
+      } else {
+        for (const RangeFilter& f : plan.filters) {
+          if (n == 0) break;
+          const std::uint64_t* v = fetch(*f.col, vals_a);
+          const std::size_t m =
+              CompactInRange(flavor, v, n, f.lo, f.hi, pos.data());
+          apply_selection(m);
+        }
+      }
+
+      // Join probes.
+      for (std::size_t ji = 0; ji < plan.joins.size(); ++ji) {
+        const JoinStage& j = plan.joins[ji];
+        if (n == 0) break;
+        const std::uint64_t* k = fetch(*j.fact_key, keys);
+        if (!blooms.empty()) {
+          // Bloom pre-filter: discard definite misses before the (more
+          // expensive, cache-hungry) hash-table probe.
+          BloomProbeArray(probe_cfg, *blooms[ji], k, bloom_out.data(), n);
+          const std::size_t bm = CompactInRange(flavor, bloom_out.data(),
+                                                n, 1, 1, pos.data());
+          if (bm != n) {
+            apply_selection(bm);
+            if (n == 0) break;
+            k = fetch(*j.fact_key, keys);
+          }
+        }
+        const int slot = j.payload_slot;
+        HEF_DCHECK(slot >= 0 && slot < 4);
+        ProbeArray(probe_cfg, *j.table, k, payloads[slot].data(), n);
+        const std::size_t m =
+            CompactHits(flavor, payloads[slot].data(), n, pos.data());
+        probed_slots[probed_count++] = slot;  // compacts with the rest
+        if (m != n) {
+          apply_selection(m);
+        }
+      }
+      if (n == 0) continue;
+      qualifying += n;
+
+      // Measure columns.
+      const std::uint64_t* va = fetch(*plan.value_a, vals_a);
+      const std::uint64_t* vb = nullptr;
+      if (plan.value_b != nullptr) {
+        vb = fetch(*plan.value_b, vals_b);
+      }
+
+      // Group-by aggregation. Group ids come from the plan's (scalar)
+      // mapping; the accumulate step is either the shared scalar loop or
+      // the conflict-detected gather-add-scatter path.
+      if (config.vectorized_agg && flavor != Flavor::kScalar) {
+        std::array<std::uint64_t, 4> p{};
+        for (std::size_t i = 0; i < n; ++i) {
+          for (int k = 0; k < probed_count; ++k) {
+            const int slot = probed_slots[k];
+            p[slot] = payloads[slot][i];
+          }
+          std::uint64_t value = va[i];
+          switch (plan.value_op) {
+            case ValueOp::kSum:
+              break;
+            case ValueOp::kSumProduct:
+              value *= vb[i];
+              break;
+            case ValueOp::kSumDiff:
+              value -= vb[i];
+              break;
+          }
+          pos[i] = plan.gid(p);  // materialized group ids
+          HEF_DCHECK(pos[i] < plan.gid_domain);
+          scratch[i] = value;    // materialized measures
+        }
+        GroupSumAdd(/*use_simd=*/true, pos.data(), scratch.data(), n,
+                    agg.data(), cnt.data());
+      } else {
+        std::array<std::uint64_t, 4> p{};
+        for (std::size_t i = 0; i < n; ++i) {
+          for (int k = 0; k < probed_count; ++k) {
+            const int slot = probed_slots[k];
+            p[slot] = payloads[slot][i];
+          }
+          std::uint64_t value = va[i];
+          switch (plan.value_op) {
+            case ValueOp::kSum:
+              break;
+            case ValueOp::kSumProduct:
+              value *= vb[i];
+              break;
+            case ValueOp::kSumDiff:
+              value -= vb[i];
+              break;
+          }
+          const std::uint64_t g = plan.gid(p);
+          HEF_DCHECK(g < plan.gid_domain);
+          agg[g] += value;
+          cnt[g] += 1;
+        }
+      }
+    }
+    *qualifying_out = qualifying;
+  }
+
+  QueryResult ExecutePlan(const StarPlan& plan) {
+    const std::vector<std::unique_ptr<BloomFilter>> blooms =
+        BuildBlooms(plan);
+    const std::size_t total = db.lineorder.n;
+    const auto block = static_cast<std::size_t>(config.block_size);
+
+    std::vector<std::uint64_t> agg(plan.gid_domain, 0);
+    std::vector<std::uint64_t> cnt(plan.gid_domain, 0);
+    std::uint64_t qualifying = 0;
+
+    const int threads = std::min<int>(
+        config.threads,
+        static_cast<int>((total + block - 1) / block));
+    if (threads <= 1) {
+      ExecuteRange(plan, blooms, main_buffers, 0, total, agg, cnt,
+                   &qualifying);
+    } else {
+      // Morsel parallelism: contiguous block-aligned row ranges, one
+      // worker each, private accumulators merged at the end (group sums
+      // commute, so results are bit-identical to single-threaded).
+      const std::size_t blocks_total = (total + block - 1) / block;
+      const std::size_t blocks_per_worker =
+          (blocks_total + threads - 1) / threads;
+      std::vector<std::vector<std::uint64_t>> worker_agg(
+          threads, std::vector<std::uint64_t>(plan.gid_domain, 0));
+      std::vector<std::vector<std::uint64_t>> worker_cnt(
+          threads, std::vector<std::uint64_t>(plan.gid_domain, 0));
+      std::vector<std::uint64_t> worker_qualifying(threads, 0);
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (int t = 0; t < threads; ++t) {
+        const std::size_t begin =
+            std::min(total, t * blocks_per_worker * block);
+        const std::size_t end =
+            std::min(total, (t + 1) * blocks_per_worker * block);
+        workers.emplace_back([&, t, begin, end] {
+          Buffers buffers(block);
+          ExecuteRange(plan, blooms, buffers, begin, end, worker_agg[t],
+                       worker_cnt[t], &worker_qualifying[t]);
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      for (int t = 0; t < threads; ++t) {
+        qualifying += worker_qualifying[t];
+        for (std::size_t g = 0; g < plan.gid_domain; ++g) {
+          agg[g] += worker_agg[t][g];
+          cnt[g] += worker_cnt[t][g];
+        }
+      }
+    }
+
+    QueryResult result;
+    result.qualifying_rows = qualifying;
+    for (std::size_t g = 0; g < plan.gid_domain; ++g) {
+      if (cnt[g] == 0) continue;
+      GroupRow row;
+      row.keys = plan.decode(g);
+      row.value = agg[g];
+      result.rows.push_back(row);
+    }
+    std::sort(result.rows.begin(), result.rows.end());
+    return result;
+  }
+};
+
+SsbEngine::SsbEngine(const ssb::SsbDatabase& db, EngineConfig config)
+    : impl_(std::make_unique<Impl>(db, config)) {}
+
+SsbEngine::~SsbEngine() = default;
+
+const EngineConfig& SsbEngine::config() const { return impl_->config; }
+
+QueryResult SsbEngine::Run(QueryId id) {
+  const BoundPlan bound = BuildQueryPlan(impl_->db, id);
+  return impl_->ExecutePlan(bound.plan);
+}
+
+}  // namespace hef

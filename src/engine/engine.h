@@ -1,0 +1,47 @@
+// SsbEngine — the VIP-style vectorized pipeline engine executing the 13
+// SSB queries in scalar / SIMD / hybrid flavours.
+//
+// Every query is a star plan: range filters on fact columns, a chain of
+// hash-join probes against filtered dimension tables (most selective
+// first), and a direct-array group-by aggregation. The pipeline processes
+// the fact table in blocks, materializing compacted row-id and payload
+// vectors between operators (the VIP materialization strategy the paper
+// adopts, §V-B). The three flavours share this structure and differ only
+// in the (v, s, p) coordinates of the gather and probe kernels — purely
+// scalar (v0 s1 p1), purely SIMD (v1 s0 p1) or the tuned hybrid point.
+
+#ifndef HEF_ENGINE_ENGINE_H_
+#define HEF_ENGINE_ENGINE_H_
+
+#include <memory>
+
+#include "engine/flavor.h"
+#include "engine/query_id.h"
+#include "engine/result.h"
+#include "ssb/database.h"
+
+namespace hef {
+
+class SsbEngine {
+ public:
+  // The database must outlive the engine.
+  SsbEngine(const ssb::SsbDatabase& db, EngineConfig config);
+  ~SsbEngine();
+
+  SsbEngine(const SsbEngine&) = delete;
+  SsbEngine& operator=(const SsbEngine&) = delete;
+
+  // Executes one SSB query end to end (dimension hash-table build + fact
+  // pipeline) and returns its result rows sorted by group keys.
+  QueryResult Run(QueryId id);
+
+  const EngineConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_ENGINE_H_

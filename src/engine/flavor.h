@@ -1,0 +1,86 @@
+// Execution flavours of the SSB pipelines.
+//
+// The paper compares four implementations of every query: purely scalar,
+// purely SIMD (the VIP-style vectorized pipeline), HEF hybrid, and Voila.
+// The first three share one pipeline structure ("we adopt the same
+// [operator, pipeline, materialization] configuration for queries
+// implemented with HEF") and differ only in the kernels' (v, s, p)
+// coordinates; Voila is a separate engine (src/voila).
+
+#ifndef HEF_ENGINE_FLAVOR_H_
+#define HEF_ENGINE_FLAVOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hybrid/hybrid_config.h"
+
+namespace hef {
+
+enum class Flavor {
+  kScalar,  // every kernel at v0 s1 p1
+  kSimd,    // every kernel at v1 s0 p1
+  kHybrid,  // kernels at the tuned (v, s, p) coordinates
+};
+
+const char* FlavorName(Flavor flavor);
+Result<Flavor> FlavorByName(const std::string& name);
+
+// Per-engine configuration. The hybrid kernel coordinates default to the
+// paper's SSB optimum (one SIMD + one scalar statement, pack of three,
+// §V-B); the tuner can override them per host.
+struct EngineConfig {
+  Flavor flavor = Flavor::kSimd;
+  // Coordinates used when flavor == kHybrid.
+  HybridConfig probe_cfg{1, 1, 3};
+  HybridConfig gather_cfg{1, 1, 3};
+  // Rows per pipeline block (the vectorized engine's vector size).
+  int block_size = 4096;
+  // Build a Bloom filter per dimension table and pre-filter probe keys
+  // before each hash join (the star-join optimization of the SIMD Bloom
+  // filter literature the paper cites). Results are unchanged — Bloom
+  // misses are definite misses, false positives fall out of the join.
+  bool bloom_prefilter = false;
+  // Evaluate multi-predicate WHERE clauses as bitmap scans + conjunction
+  // (Zhou & Ross selection scans) instead of compacting after every
+  // predicate. Pays when individual predicates are unselective but their
+  // conjunction is (the Q1.x pattern).
+  bool fused_filters = false;
+  // Run the group-by accumulate as gather-add-scatter with AVX-512CD
+  // conflict detection instead of the scalar loop (related work [18]/[31]
+  // style). Scalar-flavour engines ignore this.
+  bool vectorized_agg = false;
+  // Worker threads for the fact scan (morsel parallelism over blocks).
+  // The paper measures per-core behaviour, so benchmarks default to 1;
+  // results are bit-identical for any thread count (group sums are
+  // commutative).
+  int threads = 1;
+
+  // The kernel coordinate this engine flavour runs at.
+  HybridConfig ProbeConfig() const {
+    switch (flavor) {
+      case Flavor::kScalar:
+        return HybridConfig::PureScalar();
+      case Flavor::kSimd:
+        return HybridConfig::PureSimd();
+      case Flavor::kHybrid:
+        return probe_cfg;
+    }
+    return HybridConfig::PureSimd();
+  }
+  HybridConfig GatherConfig() const {
+    switch (flavor) {
+      case Flavor::kScalar:
+        return HybridConfig::PureScalar();
+      case Flavor::kSimd:
+        return HybridConfig::PureSimd();
+      case Flavor::kHybrid:
+        return gather_cfg;
+    }
+    return HybridConfig::PureSimd();
+  }
+};
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_FLAVOR_H_

@@ -1,0 +1,47 @@
+// Flavoured block-level primitives of the vectorized pipeline: gather,
+// range-filter compaction, and hit compaction. Together with the hash
+// probe (src/table/probe.h) these are the operator vocabulary every SSB
+// pipeline is assembled from.
+
+#ifndef HEF_ENGINE_PRIMITIVES_H_
+#define HEF_ENGINE_PRIMITIVES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/flavor.h"
+#include "hid/hid.h"
+#include "hybrid/hybrid_config.h"
+#include "procinfo/instruction_table.h"
+
+namespace hef {
+
+// out[i] = base[idx[i]] — row gather, the pipeline's materialization step.
+// Runs as a HID map kernel at coordinate `cfg`.
+void GatherArray(const HybridConfig& cfg, const std::uint64_t* base,
+                 const std::uint64_t* idx, std::uint64_t* out,
+                 std::size_t n);
+
+// All (v, s, p) coordinates precompiled for the gather kernel.
+const std::vector<HybridConfig>& GatherSupportedConfigs();
+
+// Writes the positions i (0-based) with lo <= values[i] <= hi into
+// positions_out, in order; returns the count. `flavor` selects the scalar
+// branch-free loop or the SIMD compare+compress implementation (compaction
+// is a single-cursor operation, so it has exactly these two forms — the
+// hybrid engine uses the SIMD form, as the paper's generated operators do).
+std::size_t CompactInRange(Flavor flavor, const std::uint64_t* values,
+                           std::size_t n, std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t* positions_out);
+
+// Positions of probe hits: values[i] != kMissValue.
+std::size_t CompactHits(Flavor flavor, const std::uint64_t* values,
+                        std::size_t n, std::uint64_t* positions_out);
+
+// The gather kernel's op mix, for the candidate generator / port model.
+std::vector<OpClass> GatherKernelOps();
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_PRIMITIVES_H_

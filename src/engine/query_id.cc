@@ -1,0 +1,166 @@
+#include "engine/query_id.h"
+
+namespace hef {
+
+namespace {
+
+struct Entry {
+  QueryId id;
+  const char* name;   // "Q2.1"
+  const char* brief;  // "2.1"
+};
+
+constexpr Entry kEntries[] = {
+    {QueryId::kQ1_1, "Q1.1", "1.1"}, {QueryId::kQ1_2, "Q1.2", "1.2"},
+    {QueryId::kQ1_3, "Q1.3", "1.3"}, {QueryId::kQ2_1, "Q2.1", "2.1"},
+    {QueryId::kQ2_2, "Q2.2", "2.2"}, {QueryId::kQ2_3, "Q2.3", "2.3"},
+    {QueryId::kQ3_1, "Q3.1", "3.1"}, {QueryId::kQ3_2, "Q3.2", "3.2"},
+    {QueryId::kQ3_3, "Q3.3", "3.3"}, {QueryId::kQ3_4, "Q3.4", "3.4"},
+    {QueryId::kQ4_1, "Q4.1", "4.1"}, {QueryId::kQ4_2, "Q4.2", "4.2"},
+    {QueryId::kQ4_3, "Q4.3", "4.3"},
+};
+
+}  // namespace
+
+Result<QueryId> ParseQueryId(const std::string& text) {
+  for (const Entry& e : kEntries) {
+    if (text == e.name || text == e.brief) return e.id;
+  }
+  return Status::InvalidArgument("unknown SSB query '" + text +
+                                 "' (expected e.g. '2.1' or 'Q2.1')");
+}
+
+const char* QueryName(QueryId id) {
+  for (const Entry& e : kEntries) {
+    if (e.id == id) return e.name;
+  }
+  return "Q?";
+}
+
+const char* QuerySql(QueryId id) {
+  switch (id) {
+    case QueryId::kQ1_1:
+      return "SELECT SUM(lo_extendedprice * lo_discount) AS revenue\n"
+             "FROM lineorder, date\n"
+             "WHERE lo_orderdate = d_datekey AND d_year = 1993\n"
+             "  AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25;";
+    case QueryId::kQ1_2:
+      return "SELECT SUM(lo_extendedprice * lo_discount) AS revenue\n"
+             "FROM lineorder, date\n"
+             "WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401\n"
+             "  AND lo_discount BETWEEN 4 AND 6\n"
+             "  AND lo_quantity BETWEEN 26 AND 35;";
+    case QueryId::kQ1_3:
+      return "SELECT SUM(lo_extendedprice * lo_discount) AS revenue\n"
+             "FROM lineorder, date\n"
+             "WHERE lo_orderdate = d_datekey AND d_weeknuminyear = 6\n"
+             "  AND d_year = 1994 AND lo_discount BETWEEN 5 AND 7\n"
+             "  AND lo_quantity BETWEEN 26 AND 35;";
+    case QueryId::kQ2_1:
+      return "SELECT SUM(lo_revenue), d_year, p_brand1\n"
+             "FROM lineorder, date, part, supplier\n"
+             "WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey\n"
+             "  AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12'\n"
+             "  AND s_region = 'AMERICA'\n"
+             "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1;";
+    case QueryId::kQ2_2:
+      return "SELECT SUM(lo_revenue), d_year, p_brand1\n"
+             "FROM lineorder, date, part, supplier\n"
+             "WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey\n"
+             "  AND lo_suppkey = s_suppkey\n"
+             "  AND p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'\n"
+             "  AND s_region = 'ASIA'\n"
+             "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1;";
+    case QueryId::kQ2_3:
+      return "SELECT SUM(lo_revenue), d_year, p_brand1\n"
+             "FROM lineorder, date, part, supplier\n"
+             "WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey\n"
+             "  AND lo_suppkey = s_suppkey AND p_brand1 = 'MFGR#2221'\n"
+             "  AND s_region = 'EUROPE'\n"
+             "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1;";
+    case QueryId::kQ3_1:
+      return "SELECT c_nation, s_nation, d_year, SUM(lo_revenue)\n"
+             "FROM customer, lineorder, supplier, date\n"
+             "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey\n"
+             "  AND lo_orderdate = d_datekey AND c_region = 'ASIA'\n"
+             "  AND s_region = 'ASIA' AND d_year >= 1992 AND d_year <= 1997\n"
+             "GROUP BY c_nation, s_nation, d_year;";
+    case QueryId::kQ3_2:
+      return "SELECT c_city, s_city, d_year, SUM(lo_revenue)\n"
+             "FROM customer, lineorder, supplier, date\n"
+             "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey\n"
+             "  AND lo_orderdate = d_datekey\n"
+             "  AND c_nation = 'UNITED STATES'\n"
+             "  AND s_nation = 'UNITED STATES'\n"
+             "  AND d_year >= 1992 AND d_year <= 1997\n"
+             "GROUP BY c_city, s_city, d_year;";
+    case QueryId::kQ3_3:
+      return "SELECT c_city, s_city, d_year, SUM(lo_revenue)\n"
+             "FROM customer, lineorder, supplier, date\n"
+             "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey\n"
+             "  AND lo_orderdate = d_datekey\n"
+             "  AND c_city IN ('UNITED KI1', 'UNITED KI5')\n"
+             "  AND s_city IN ('UNITED KI1', 'UNITED KI5')\n"
+             "  AND d_year >= 1992 AND d_year <= 1997\n"
+             "GROUP BY c_city, s_city, d_year;";
+    case QueryId::kQ3_4:
+      return "SELECT c_city, s_city, d_year, SUM(lo_revenue)\n"
+             "FROM customer, lineorder, supplier, date\n"
+             "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey\n"
+             "  AND lo_orderdate = d_datekey\n"
+             "  AND c_city IN ('UNITED KI1', 'UNITED KI5')\n"
+             "  AND s_city IN ('UNITED KI1', 'UNITED KI5')\n"
+             "  AND d_yearmonth = 'Dec1997'\n"
+             "GROUP BY c_city, s_city, d_year;";
+    case QueryId::kQ4_1:
+      return "SELECT d_year, c_nation,\n"
+             "       SUM(lo_revenue - lo_supplycost) AS profit\n"
+             "FROM date, customer, supplier, part, lineorder\n"
+             "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey\n"
+             "  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey\n"
+             "  AND c_region = 'AMERICA' AND s_region = 'AMERICA'\n"
+             "  AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')\n"
+             "GROUP BY d_year, c_nation;";
+    case QueryId::kQ4_2:
+      return "SELECT d_year, s_nation, p_category,\n"
+             "       SUM(lo_revenue - lo_supplycost) AS profit\n"
+             "FROM date, customer, supplier, part, lineorder\n"
+             "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey\n"
+             "  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey\n"
+             "  AND c_region = 'AMERICA' AND s_region = 'AMERICA'\n"
+             "  AND (d_year = 1997 OR d_year = 1998)\n"
+             "  AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2')\n"
+             "GROUP BY d_year, s_nation, p_category;";
+    case QueryId::kQ4_3:
+      return "SELECT d_year, s_city, p_brand1,\n"
+             "       SUM(lo_revenue - lo_supplycost) AS profit\n"
+             "FROM date, customer, supplier, part, lineorder\n"
+             "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey\n"
+             "  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey\n"
+             "  AND c_region = 'AMERICA'\n"
+             "  AND s_nation = 'UNITED STATES'\n"
+             "  AND (d_year = 1997 OR d_year = 1998)\n"
+             "  AND p_category = 'MFGR#14'\n"
+             "GROUP BY d_year, s_city, p_brand1;";
+  }
+  return "";
+}
+
+const std::vector<QueryId>& AllQueries() {
+  static const std::vector<QueryId>* all = new std::vector<QueryId>{
+      QueryId::kQ1_1, QueryId::kQ1_2, QueryId::kQ1_3, QueryId::kQ2_1,
+      QueryId::kQ2_2, QueryId::kQ2_3, QueryId::kQ3_1, QueryId::kQ3_2,
+      QueryId::kQ3_3, QueryId::kQ3_4, QueryId::kQ4_1, QueryId::kQ4_2,
+      QueryId::kQ4_3};
+  return *all;
+}
+
+const std::vector<QueryId>& PaperFigureQueries() {
+  static const std::vector<QueryId>* queries = new std::vector<QueryId>{
+      QueryId::kQ2_1, QueryId::kQ2_2, QueryId::kQ2_3, QueryId::kQ3_1,
+      QueryId::kQ3_2, QueryId::kQ3_3, QueryId::kQ3_4, QueryId::kQ4_1,
+      QueryId::kQ4_2, QueryId::kQ4_3};
+  return *queries;
+}
+
+}  // namespace hef

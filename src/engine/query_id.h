@@ -1,0 +1,46 @@
+// SSB query identifiers.
+
+#ifndef HEF_ENGINE_QUERY_ID_H_
+#define HEF_ENGINE_QUERY_ID_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hef {
+
+enum class QueryId {
+  kQ1_1,
+  kQ1_2,
+  kQ1_3,
+  kQ2_1,
+  kQ2_2,
+  kQ2_3,
+  kQ3_1,
+  kQ3_2,
+  kQ3_3,
+  kQ3_4,
+  kQ4_1,
+  kQ4_2,
+  kQ4_3,
+};
+
+// "Q2.1" / "2.1" -> kQ2_1.
+Result<QueryId> ParseQueryId(const std::string& text);
+const char* QueryName(QueryId id);
+
+// The query's SQL text (SSB specification form), for documentation and
+// harness output.
+const char* QuerySql(QueryId id);
+
+// All 13 SSB queries in benchmark order.
+const std::vector<QueryId>& AllQueries();
+
+// The ten queries the paper's figures report (Q2.1-Q4.3; Q1.x are
+// memory-bandwidth-bound and excluded, §V).
+const std::vector<QueryId>& PaperFigureQueries();
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_QUERY_ID_H_

@@ -1,0 +1,234 @@
+#include "engine/reference.h"
+
+#include <array>
+#include <functional>
+#include <map>
+
+#include "common/macros.h"
+#include "ssb/schema.h"
+
+namespace hef {
+
+namespace {
+
+using ssb::SsbDatabase;
+
+// Row-at-a-time evaluation with dimension lookups by direct array index
+// (surrogate keys are dense) and a datekey -> date-row map.
+QueryResult Execute(
+    const SsbDatabase& db,
+    const std::function<bool(std::size_t lo_row, std::size_t d_row)>& pred,
+    const std::function<std::array<std::uint64_t, 3>(std::size_t lo_row,
+                                                     std::size_t d_row)>& key,
+    const std::function<std::uint64_t(std::size_t lo_row)>& value) {
+  // datekey -> date row.
+  std::map<std::uint64_t, std::size_t> date_index;
+  for (std::size_t i = 0; i < db.date.n; ++i) {
+    date_index[db.date.datekey[i]] = i;
+  }
+
+  std::map<std::array<std::uint64_t, 3>, std::uint64_t> groups;
+  std::uint64_t qualifying = 0;
+  for (std::size_t r = 0; r < db.lineorder.n; ++r) {
+    const auto it = date_index.find(db.lineorder.orderdate[r]);
+    HEF_CHECK(it != date_index.end());
+    const std::size_t d = it->second;
+    if (!pred(r, d)) continue;
+    ++qualifying;
+    groups[key(r, d)] += value(r);
+  }
+
+  QueryResult result;
+  result.qualifying_rows = qualifying;
+  for (const auto& [k, v] : groups) {
+    GroupRow row;
+    row.keys = k;
+    row.value = v;
+    result.rows.push_back(row);
+  }
+  return result;  // std::map iteration is already key-sorted
+}
+
+}  // namespace
+
+QueryResult RunReferenceQuery(const SsbDatabase& db, QueryId id) {
+  const auto& lo = db.lineorder;
+  const auto& c = db.customer;
+  const auto& s = db.supplier;
+  const auto& p = db.part;
+  const auto& d = db.date;
+
+  auto cust = [&](std::size_t r) { return lo.custkey[r] - 1; };
+  auto supp = [&](std::size_t r) { return lo.suppkey[r] - 1; };
+  auto part = [&](std::size_t r) { return lo.partkey[r] - 1; };
+
+  auto revenue = [&](std::size_t r) { return lo.revenue[r]; };
+  auto profit = [&](std::size_t r) {
+    return lo.revenue[r] - lo.supplycost[r];
+  };
+  auto discounted = [&](std::size_t r) {
+    return lo.extendedprice[r] * lo.discount[r];
+  };
+  auto no_key = [](std::size_t, std::size_t) {
+    return std::array<std::uint64_t, 3>{};
+  };
+
+  switch (id) {
+    case QueryId::kQ1_1:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t dr) {
+            return d.year[dr] == 1993 && lo.discount[r] >= 1 &&
+                   lo.discount[r] <= 3 && lo.quantity[r] < 25;
+          },
+          no_key, discounted);
+    case QueryId::kQ1_2:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t dr) {
+            return d.yearmonthnum[dr] == 199401 && lo.discount[r] >= 4 &&
+                   lo.discount[r] <= 6 && lo.quantity[r] >= 26 &&
+                   lo.quantity[r] <= 35;
+          },
+          no_key, discounted);
+    case QueryId::kQ1_3:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t dr) {
+            return d.weeknuminyear[dr] == 6 && d.year[dr] == 1994 &&
+                   lo.discount[r] >= 5 && lo.discount[r] <= 7 &&
+                   lo.quantity[r] >= 26 && lo.quantity[r] <= 35;
+          },
+          no_key, discounted);
+
+    case QueryId::kQ2_1:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t) {
+            return p.category[part(r)] == 12 &&
+                   s.region[supp(r)] == ssb::kAmerica;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{d.year[dr],
+                                                p.brand1[part(r)], 0};
+          },
+          revenue);
+    case QueryId::kQ2_2:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t) {
+            return p.brand1[part(r)] >= 2221 && p.brand1[part(r)] <= 2228 &&
+                   s.region[supp(r)] == ssb::kAsia;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{d.year[dr],
+                                                p.brand1[part(r)], 0};
+          },
+          revenue);
+    case QueryId::kQ2_3:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t) {
+            return p.brand1[part(r)] == 2221 &&
+                   s.region[supp(r)] == ssb::kEurope;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{d.year[dr],
+                                                p.brand1[part(r)], 0};
+          },
+          revenue);
+
+    case QueryId::kQ3_1:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t dr) {
+            return c.region[cust(r)] == ssb::kAsia &&
+                   s.region[supp(r)] == ssb::kAsia && d.year[dr] >= 1992 &&
+                   d.year[dr] <= 1997;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{c.nation[cust(r)],
+                                                s.nation[supp(r)],
+                                                d.year[dr]};
+          },
+          revenue);
+    case QueryId::kQ3_2:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t dr) {
+            return c.nation[cust(r)] == ssb::kNationUnitedStates &&
+                   s.nation[supp(r)] == ssb::kNationUnitedStates &&
+                   d.year[dr] >= 1992 && d.year[dr] <= 1997;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{c.city[cust(r)],
+                                                s.city[supp(r)], d.year[dr]};
+          },
+          revenue);
+    case QueryId::kQ3_3:
+    case QueryId::kQ3_4: {
+      auto is_ki = [](std::uint64_t city) {
+        return city == ssb::kCityUnitedKi1 || city == ssb::kCityUnitedKi5;
+      };
+      return Execute(
+          db,
+          [&, is_ki](std::size_t r, std::size_t dr) {
+            const bool date_ok =
+                id == QueryId::kQ3_4
+                    ? d.yearmonthnum[dr] == 199712
+                    : (d.year[dr] >= 1992 && d.year[dr] <= 1997);
+            return is_ki(c.city[cust(r)]) && is_ki(s.city[supp(r)]) &&
+                   date_ok;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{c.city[cust(r)],
+                                                s.city[supp(r)], d.year[dr]};
+          },
+          revenue);
+    }
+
+    case QueryId::kQ4_1:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t) {
+            return c.region[cust(r)] == ssb::kAmerica &&
+                   s.region[supp(r)] == ssb::kAmerica &&
+                   p.mfgr[part(r)] <= 2;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{d.year[dr],
+                                                c.nation[cust(r)], 0};
+          },
+          profit);
+    case QueryId::kQ4_2:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t dr) {
+            return c.region[cust(r)] == ssb::kAmerica &&
+                   s.region[supp(r)] == ssb::kAmerica &&
+                   p.mfgr[part(r)] <= 2 && d.year[dr] >= 1997;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{
+                d.year[dr], s.nation[supp(r)], p.category[part(r)]};
+          },
+          profit);
+    case QueryId::kQ4_3:
+      return Execute(
+          db,
+          [&](std::size_t r, std::size_t dr) {
+            return s.nation[supp(r)] == ssb::kNationUnitedStates &&
+                   c.region[cust(r)] == ssb::kAmerica &&
+                   p.category[part(r)] == 14 && d.year[dr] >= 1997;
+          },
+          [&](std::size_t r, std::size_t dr) {
+            return std::array<std::uint64_t, 3>{
+                d.year[dr], s.city[supp(r)], p.brand1[part(r)]};
+          },
+          profit);
+  }
+  HEF_CHECK_MSG(false, "unknown query id");
+  __builtin_unreachable();
+}
+
+}  // namespace hef

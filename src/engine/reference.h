@@ -1,0 +1,19 @@
+// ReferenceRunner — a deliberately simple row-at-a-time executor for the 13
+// SSB queries, written independently of the vectorized engine (no shared
+// plan code, std::map grouping). It is the correctness oracle: every
+// engine flavour and Voila must produce bit-identical QueryResults.
+
+#ifndef HEF_ENGINE_REFERENCE_H_
+#define HEF_ENGINE_REFERENCE_H_
+
+#include "engine/query_id.h"
+#include "engine/result.h"
+#include "ssb/database.h"
+
+namespace hef {
+
+QueryResult RunReferenceQuery(const ssb::SsbDatabase& db, QueryId id);
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_REFERENCE_H_

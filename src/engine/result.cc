@@ -1,0 +1,21 @@
+#include "engine/result.h"
+
+#include <cstdio>
+
+namespace hef {
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  char buf[128];
+  for (const GroupRow& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%llu %llu %llu -> %llu\n",
+                  static_cast<unsigned long long>(r.keys[0]),
+                  static_cast<unsigned long long>(r.keys[1]),
+                  static_cast<unsigned long long>(r.keys[2]),
+                  static_cast<unsigned long long>(r.value));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hef

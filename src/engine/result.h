@@ -1,0 +1,47 @@
+// Query result representation shared by all engines (scalar / SIMD /
+// hybrid / Voila / reference), so results can be compared bit-exactly in
+// tests.
+
+#ifndef HEF_ENGINE_RESULT_H_
+#define HEF_ENGINE_RESULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hef {
+
+// One output group: up to three group-by key attributes (unused slots are
+// zero) and the aggregated value. Q1.x produce a single row with no keys.
+struct GroupRow {
+  std::array<std::uint64_t, 3> keys{};
+  std::uint64_t value = 0;
+
+  bool operator==(const GroupRow& o) const {
+    return keys == o.keys && value == o.value;
+  }
+  bool operator<(const GroupRow& o) const { return keys < o.keys; }
+};
+
+struct QueryResult {
+  // Rows sorted by keys (deterministic across engines).
+  std::vector<GroupRow> rows;
+  // Fact rows that survived all predicates/joins (for selectivity checks).
+  std::uint64_t qualifying_rows = 0;
+
+  std::uint64_t TotalValue() const {
+    std::uint64_t total = 0;
+    for (const GroupRow& r : rows) total += r.value;
+    return total;
+  }
+
+  bool operator==(const QueryResult& o) const { return rows == o.rows; }
+
+  // Debug rendering: one "k1 k2 k3 -> value" line per row.
+  std::string ToString() const;
+};
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_RESULT_H_

@@ -1,0 +1,93 @@
+#include "engine/scan.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "hid/hid.h"
+
+namespace hef {
+
+namespace {
+
+std::size_t ScanRangeBitmapScalar(const std::uint64_t* col, std::size_t n,
+                                  std::uint64_t lo, std::uint64_t hi,
+                                  std::uint64_t* bitmap) {
+  std::memset(bitmap, 0, BitmapWords(n) * sizeof(std::uint64_t));
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t pass = (col[i] >= lo) & (col[i] <= hi);
+    bitmap[i >> 6] |= pass << (i & 63);
+    count += pass;
+  }
+  return count;
+}
+
+#if HEF_HAVE_AVX512
+std::size_t ScanRangeBitmapSimd(const std::uint64_t* col, std::size_t n,
+                                std::uint64_t lo, std::uint64_t hi,
+                                std::uint64_t* bitmap) {
+  using B = Avx512Backend;
+  std::memset(bitmap, 0, BitmapWords(n) * sizeof(std::uint64_t));
+  auto* bytes = reinterpret_cast<std::uint8_t*>(bitmap);
+  const auto vlo = B::Set1(lo);
+  const auto vhi = B::Set1(hi);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const auto v = B::LoadU(col + i);
+    const auto m = B::MaskAnd(B::MaskNot(B::CmpGt(vlo, v)),
+                              B::MaskNot(B::CmpGt(v, vhi)));
+    bytes[i >> 3] = static_cast<std::uint8_t>(B::MaskBits(m));
+    count += static_cast<std::size_t>(B::MaskCount(m));
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t pass = (col[i] >= lo) & (col[i] <= hi);
+    bitmap[i >> 6] |= pass << (i & 63);
+    count += pass;
+  }
+  return count;
+}
+#endif
+
+}  // namespace
+
+std::size_t ScanRangeBitmap(Flavor flavor, const std::uint64_t* col,
+                            std::size_t n, std::uint64_t lo,
+                            std::uint64_t hi, std::uint64_t* bitmap) {
+#if HEF_HAVE_AVX512
+  if (flavor != Flavor::kScalar) {
+    return ScanRangeBitmapSimd(col, n, lo, hi, bitmap);
+  }
+#endif
+  return ScanRangeBitmapScalar(col, n, lo, hi, bitmap);
+}
+
+std::size_t BitmapAnd(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  const std::size_t words = BitmapWords(n);
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    dst[w] &= src[w];
+    count += static_cast<std::size_t>(__builtin_popcountll(dst[w]));
+  }
+  // Bits past n are zero by construction (both operands were built with
+  // cleared tails), so the popcount is exact.
+  return count;
+}
+
+std::size_t BitmapToPositions(const std::uint64_t* bitmap, std::size_t n,
+                              std::uint64_t* positions_out) {
+  const std::size_t words = BitmapWords(n);
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = bitmap[w];
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      positions_out[count++] = (w << 6) + static_cast<std::uint64_t>(bit);
+    }
+  }
+  return count;
+}
+
+}  // namespace hef

@@ -1,0 +1,44 @@
+// Bitmap selection scans (Zhou & Ross [46], the earliest SIMD database
+// operator the paper builds on): predicate evaluation over a column
+// producing one bit per row, bitmap conjunction for multi-predicate
+// WHERE clauses, and bitmap-to-positions extraction.
+//
+// Compared to the compaction pipeline (primitives.h), bitmap scans
+// evaluate *all* predicates over *all* rows without reshuffling data —
+// profitable when individual predicates are unselective but their
+// conjunction is (the SSB Q1 pattern), because compaction after a 50%
+// filter moves half the block. EngineConfig::fused_filters switches the
+// engine's filter stage to this strategy.
+
+#ifndef HEF_ENGINE_SCAN_H_
+#define HEF_ENGINE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/flavor.h"
+
+namespace hef {
+
+// Words needed for an n-row bitmap.
+inline std::size_t BitmapWords(std::size_t n) { return (n + 63) / 64; }
+
+// bitmap[i] = (lo <= col[i] <= hi); returns the number of set bits.
+// The SIMD flavour evaluates eight rows per compare pair and writes the
+// k-mask byte directly into the bitmap.
+std::size_t ScanRangeBitmap(Flavor flavor, const std::uint64_t* col,
+                            std::size_t n, std::uint64_t lo,
+                            std::uint64_t hi, std::uint64_t* bitmap);
+
+// dst &= src over `words` words; returns the surviving popcount over the
+// first n bits.
+std::size_t BitmapAnd(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n);
+
+// Extracts the positions of set bits (ascending); returns the count.
+std::size_t BitmapToPositions(const std::uint64_t* bitmap, std::size_t n,
+                              std::uint64_t* positions_out);
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_SCAN_H_

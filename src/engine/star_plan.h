@@ -1,0 +1,77 @@
+// Star-plan representation of the 13 SSB queries, shared by the vectorized
+// engine (src/engine/engine.cc) and the Voila comparator (src/voila). A
+// BoundPlan owns the filtered dimension hash tables and binds fact columns,
+// join order, measure expression and group-by mapping for one query.
+
+#ifndef HEF_ENGINE_STAR_PLAN_H_
+#define HEF_ENGINE_STAR_PLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/query_id.h"
+#include "ssb/database.h"
+#include "table/linear_hash_table.h"
+
+namespace hef {
+
+// How the two value columns combine into the aggregated measure.
+enum class ValueOp {
+  kSum,         // sum(a)
+  kSumProduct,  // sum(a * b)   (Q1.x: extendedprice * discount)
+  kSumDiff,     // sum(a - b)   (Q4.x: revenue - supplycost)
+};
+
+struct RangeFilter {
+  const ssb::Column* col;
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+
+struct JoinStage {
+  const ssb::Column* fact_key;
+  const LinearHashTable* table;
+  // Estimated fraction of fact rows surviving this join: dimension rows
+  // passing the filter / dimension cardinality (fact foreign keys are
+  // uniform over the dimension, so this is exact in expectation).
+  double selectivity = 1.0;
+  // Payload slot this join's probe results occupy in the gid mapping's
+  // argument array. Assigned in schema order at plan build, BEFORE the
+  // selectivity sort, so `gid`/`decode` are independent of probe order.
+  int payload_slot = -1;
+};
+
+// A fully-bound star query plan. `gid` maps the join payloads of one
+// surviving row to a dense group id; `decode` maps a group id back to the
+// output key attributes (the payload slot convention is per query and
+// documented at the build site).
+struct StarPlan {
+  std::vector<RangeFilter> filters;
+  std::vector<JoinStage> joins;  // probe order: most selective first
+  const ssb::Column* value_a = nullptr;
+  const ssb::Column* value_b = nullptr;
+  ValueOp value_op = ValueOp::kSum;
+  std::size_t gid_domain = 1;
+  std::function<std::uint64_t(const std::array<std::uint64_t, 4>&)> gid;
+  std::function<std::array<std::uint64_t, 3>(std::uint64_t)> decode;
+};
+
+// A StarPlan plus ownership of its dimension hash tables.
+struct BoundPlan {
+  std::vector<std::unique_ptr<LinearHashTable>> tables;
+  StarPlan plan;
+};
+
+// Builds the plan (including filtered dimension hash tables — the join
+// build phase) for one SSB query. Join stages are ordered most selective
+// first using the estimated selectivities (stable sort, so equal-estimate
+// stages keep schema order). Deterministic; build cost is part of query
+// execution time, as in the paper's measurements.
+BoundPlan BuildQueryPlan(const ssb::SsbDatabase& db, QueryId id);
+
+}  // namespace hef
+
+#endif  // HEF_ENGINE_STAR_PLAN_H_

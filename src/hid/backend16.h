@@ -1,0 +1,196 @@
+// 16-bit-lane lowerings of the hybrid intermediate description (Table II
+// `vint16`/`uint16` types): a zmm register holds 32 lanes, a ymm 16.
+//
+// Two ops have no 16-bit hardware instruction on any x86 ISA and are
+// emulated per the paper's interface-consistency rule ("we use multiple
+// scalar instructions or a combination of other SIMD instructions"):
+//   * Gather — no vpgatherw exists; lowered to per-lane scalar loads;
+//   * CompressStore — vpcompressw needs AVX512-VBMI2 (absent on
+//     Skylake-SP); lowered to mask-directed scalar stores.
+
+#ifndef HEF_HID_BACKEND16_H_
+#define HEF_HID_BACKEND16_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "hid/avx2_backend.h"
+#include "hid/avx512_backend.h"
+#include "procinfo/cpu_features.h"
+
+namespace hef {
+
+struct ScalarBackend16 {
+  using Elem = std::uint16_t;
+  using Reg = std::uint16_t;
+  using Mask = std::uint8_t;  // 0 or 1
+  using ScalarCompanion = ScalarBackend16;
+
+  static constexpr int kLanes = 1;
+  static constexpr Isa kIsa = Isa::kScalar;
+
+  static HEF_INLINE Reg LoadU(const std::uint16_t* p) { return *p; }
+  static HEF_INLINE void StoreU(std::uint16_t* p, Reg v) { *p = v; }
+  static HEF_INLINE Reg Set1(std::uint16_t x) { return x; }
+  static HEF_INLINE Reg Gather(const std::uint16_t* base, Reg idx) {
+    return base[idx];
+  }
+
+  static HEF_INLINE Reg Add(Reg a, Reg b) {
+    return static_cast<Reg>(a + b);
+  }
+  static HEF_INLINE Reg Sub(Reg a, Reg b) {
+    return static_cast<Reg>(a - b);
+  }
+  static HEF_INLINE Reg Mul(Reg a, Reg b) {
+    return static_cast<Reg>(a * b);
+  }
+  static HEF_INLINE Reg And(Reg a, Reg b) {
+    return static_cast<Reg>(a & b);
+  }
+  static HEF_INLINE Reg Or(Reg a, Reg b) { return static_cast<Reg>(a | b); }
+  static HEF_INLINE Reg Xor(Reg a, Reg b) {
+    return static_cast<Reg>(a ^ b);
+  }
+
+  template <int kShift>
+  static HEF_INLINE Reg Srli(Reg a) {
+    static_assert(kShift >= 0 && kShift < 16);
+    return static_cast<Reg>(a >> kShift);
+  }
+  template <int kShift>
+  static HEF_INLINE Reg Slli(Reg a) {
+    static_assert(kShift >= 0 && kShift < 16);
+    return static_cast<Reg>(a << kShift);
+  }
+
+  static HEF_INLINE Mask CmpEq(Reg a, Reg b) { return a == b ? 1 : 0; }
+  static HEF_INLINE Mask CmpGt(Reg a, Reg b) { return a > b ? 1 : 0; }
+
+  static HEF_INLINE Mask MaskAnd(Mask a, Mask b) { return a & b; }
+  static HEF_INLINE Mask MaskOr(Mask a, Mask b) { return a | b; }
+  static HEF_INLINE Mask MaskNot(Mask a) { return a ^ 1; }
+  static HEF_INLINE std::uint32_t MaskBits(Mask m) { return m; }
+  static HEF_INLINE int MaskCount(Mask m) { return m; }
+  static HEF_INLINE bool MaskNone(Mask m) { return m == 0; }
+
+  static HEF_INLINE Reg Blend(Mask m, Reg a, Reg b) { return m ? b : a; }
+
+  static HEF_INLINE int CompressStoreU(std::uint16_t* dst, Mask m, Reg v) {
+    *dst = v;
+    return m;
+  }
+
+  static HEF_INLINE std::uint16_t Lane(Reg v, int i) {
+    HEF_DCHECK(i == 0);
+    (void)i;
+    return v;
+  }
+};
+
+#if HEF_HAVE_AVX512 && defined(__AVX512BW__)
+#define HEF_HAVE_AVX512_16 1
+
+struct Avx512Backend16 {
+  using Elem = std::uint16_t;
+  using Reg = __m512i;
+  using Mask = __mmask32;
+  using ScalarCompanion = ScalarBackend16;
+
+  static constexpr int kLanes = 32;
+  static constexpr Isa kIsa = Isa::kAvx512;
+
+  static HEF_INLINE Reg LoadU(const std::uint16_t* p) {
+    return _mm512_loadu_si512(p);
+  }
+  static HEF_INLINE void StoreU(std::uint16_t* p, Reg v) {
+    _mm512_storeu_si512(p, v);
+  }
+  static HEF_INLINE Reg Set1(std::uint16_t x) {
+    return _mm512_set1_epi16(static_cast<short>(x));
+  }
+
+  // No 16-bit gather instruction exists: scalar emulation (the paper's
+  // interface-consistency rule).
+  static HEF_INLINE Reg Gather(const std::uint16_t* base, Reg idx) {
+    alignas(64) std::uint16_t idx_arr[kLanes];
+    alignas(64) std::uint16_t out[kLanes];
+    _mm512_store_si512(idx_arr, idx);
+    for (int i = 0; i < kLanes; ++i) {
+      out[i] = base[idx_arr[i]];
+    }
+    return _mm512_load_si512(out);
+  }
+
+  static HEF_INLINE Reg Add(Reg a, Reg b) { return _mm512_add_epi16(a, b); }
+  static HEF_INLINE Reg Sub(Reg a, Reg b) { return _mm512_sub_epi16(a, b); }
+  static HEF_INLINE Reg Mul(Reg a, Reg b) {
+    return _mm512_mullo_epi16(a, b);
+  }
+  static HEF_INLINE Reg And(Reg a, Reg b) { return _mm512_and_si512(a, b); }
+  static HEF_INLINE Reg Or(Reg a, Reg b) { return _mm512_or_si512(a, b); }
+  static HEF_INLINE Reg Xor(Reg a, Reg b) { return _mm512_xor_si512(a, b); }
+
+  template <int kShift>
+  static HEF_INLINE Reg Srli(Reg a) {
+    return _mm512_srli_epi16(a, kShift);
+  }
+  template <int kShift>
+  static HEF_INLINE Reg Slli(Reg a) {
+    return _mm512_slli_epi16(a, kShift);
+  }
+
+  static HEF_INLINE Mask CmpEq(Reg a, Reg b) {
+    return _mm512_cmpeq_epi16_mask(a, b);
+  }
+  static HEF_INLINE Mask CmpGt(Reg a, Reg b) {
+    return _mm512_cmpgt_epu16_mask(a, b);
+  }
+
+  static HEF_INLINE Mask MaskAnd(Mask a, Mask b) { return a & b; }
+  static HEF_INLINE Mask MaskOr(Mask a, Mask b) { return a | b; }
+  static HEF_INLINE Mask MaskNot(Mask a) { return ~a; }
+  static HEF_INLINE std::uint32_t MaskBits(Mask m) { return m; }
+  static HEF_INLINE int MaskCount(Mask m) { return __builtin_popcount(m); }
+  static HEF_INLINE bool MaskNone(Mask m) { return m == 0; }
+
+  static HEF_INLINE Reg Blend(Mask m, Reg a, Reg b) {
+    return _mm512_mask_blend_epi16(m, a, b);
+  }
+
+  // vpcompressw needs AVX512-VBMI2 (Ice Lake+): scalar emulation.
+  static HEF_INLINE int CompressStoreU(std::uint16_t* dst, Mask m, Reg v) {
+    alignas(64) std::uint16_t tmp[kLanes];
+    _mm512_store_si512(tmp, v);
+    std::uint32_t bits = m;
+    int count = 0;
+    while (bits != 0) {
+      const int lane = __builtin_ctz(bits);
+      bits &= bits - 1;
+      dst[count++] = tmp[lane];
+    }
+    return count;
+  }
+
+  static HEF_INLINE std::uint16_t Lane(Reg v, int i) {
+    alignas(64) std::uint16_t tmp[kLanes];
+    _mm512_store_si512(tmp, v);
+    HEF_DCHECK(i >= 0 && i < kLanes);
+    return tmp[i];
+  }
+};
+
+#else
+#define HEF_HAVE_AVX512_16 0
+#endif  // HEF_HAVE_AVX512 && __AVX512BW__
+
+// The widest 16-bit-lane vector backend compiled into this binary.
+#if HEF_HAVE_AVX512_16
+using DefaultVectorBackend16 = Avx512Backend16;
+#else
+using DefaultVectorBackend16 = ScalarBackend16;
+#endif
+
+}  // namespace hef
+
+#endif  // HEF_HID_BACKEND16_H_

@@ -1,0 +1,29 @@
+#include "hybrid/hybrid_config.h"
+
+#include <cstdio>
+
+namespace hef {
+
+std::string HybridConfig::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "v%ds%dp%d", v, s, p);
+  return buf;
+}
+
+Result<HybridConfig> HybridConfig::Parse(const std::string& text) {
+  HybridConfig cfg;
+  int consumed = 0;
+  if (std::sscanf(text.c_str(), "v%ds%dp%d%n", &cfg.v, &cfg.s, &cfg.p,
+                  &consumed) != 3 ||
+      consumed != static_cast<int>(text.size())) {
+    return Status::InvalidArgument("malformed hybrid config '" + text +
+                                   "' (expected e.g. 'v1s3p2')");
+  }
+  if (!cfg.valid()) {
+    return Status::InvalidArgument("invalid hybrid config '" + text +
+                                   "': need v+s >= 1 and p >= 1");
+  }
+  return cfg;
+}
+
+}  // namespace hef

@@ -1,0 +1,190 @@
+// HybridReducer — the pack combinator for reductions (aggregation, one of
+// the SSB operator classes): every (v, s, p) statement instance keeps its
+// own accumulator register across the whole input (so the loop-carried
+// dependence is per instance, and independent instances still interleave),
+// and the instance accumulators are combined horizontally once at the end.
+//
+// Kernel concept:
+//   struct MyReduceKernel {
+//     template <typename B> struct State { ... accumulators ... };
+//     template <typename B> void Init(State<B>&) const;
+//     template <typename B> void Accumulate(State<B>&, const Elem*) const;
+//     // Horizontal fold of one instance's accumulator into a scalar.
+//     template <typename B> std::uint64_t Reduce(const State<B>&) const;
+//     // Combines two partial scalars (sum -> +, min -> std::min, ...).
+//     static std::uint64_t Combine(std::uint64_t, std::uint64_t);
+//     static std::uint64_t Identity();
+//   };
+
+#ifndef HEF_HYBRID_HYBRID_REDUCER_H_
+#define HEF_HYBRID_HYBRID_REDUCER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "hid/hid.h"
+#include "hybrid/hybrid_config.h"
+#include "hybrid/hybrid_runner.h"
+
+namespace hef {
+
+template <class Kernel, int V, int S, int P, class VecB = DefaultVectorBackend>
+class HybridReducer {
+  static_assert(P >= 1 && V >= 0 && S >= 0 && V + S >= 1);
+
+ public:
+  using Elem = typename VecB::Elem;
+  using SclB = typename VecB::ScalarCompanion;
+
+  static constexpr int kLanes = VecB::kLanes;
+  static constexpr int kChunk = P * (V * kLanes + S);
+
+  static HEF_NOINLINE std::uint64_t Run(const Kernel& kernel,
+                                        const Elem* HEF_RESTRICT in,
+                                        std::size_t n) {
+    using hybrid_internal::ForEach;
+    using VState = typename Kernel::template State<VecB>;
+    using SState = typename Kernel::template State<SclB>;
+
+    constexpr int kPackSpan = V * kLanes + S;
+
+    std::array<VState, static_cast<std::size_t>(V) * P == 0
+                           ? 1
+                           : static_cast<std::size_t>(V) * P>
+        vstate;
+    std::array<SState, static_cast<std::size_t>(S) * P == 0
+                           ? 1
+                           : static_cast<std::size_t>(S) * P>
+        sstate;
+
+    ForEach<P>([&](auto pk) {
+      constexpr int kP = pk.value;
+      ForEach<V>([&](auto vi) {
+        kernel.template Init<VecB>(vstate[kP * V + vi.value]);
+      });
+      ForEach<S>([&](auto si) {
+        kernel.template Init<SclB>(sstate[kP * S + si.value]);
+      });
+    });
+
+    std::size_t i = 0;
+    for (; i + kChunk <= n; i += kChunk) {
+      // Accumulation is one stage: the loop-carried dependence sits inside
+      // each instance, so position-major interleaving happens across the
+      // V*P + S*P independent accumulator chains.
+      ForEach<P>([&](auto pk) {
+        constexpr int kP = pk.value;
+        ForEach<V>([&](auto vi) {
+          constexpr int kV = vi.value;
+          kernel.template Accumulate<VecB>(
+              vstate[kP * V + kV], in + i + kP * kPackSpan + kV * kLanes);
+        });
+        ForEach<S>([&](auto si) {
+          constexpr int kS = si.value;
+          kernel.template Accumulate<SclB>(
+              sstate[kP * S + kS], in + i + kP * kPackSpan + V * kLanes + kS);
+        });
+      });
+    }
+
+    // Horizontal combine of the instance accumulators.
+    std::uint64_t total = Kernel::Identity();
+    ForEach<P>([&](auto pk) {
+      constexpr int kP = pk.value;
+      ForEach<V>([&](auto vi) {
+        total = Kernel::Combine(
+            total, kernel.template Reduce<VecB>(vstate[kP * V + vi.value]));
+      });
+      ForEach<S>([&](auto si) {
+        total = Kernel::Combine(
+            total, kernel.template Reduce<SclB>(sstate[kP * S + si.value]));
+      });
+    });
+
+    // Scalar tail.
+    for (; i < n; ++i) {
+      SState st;
+      kernel.template Init<SclB>(st);
+      kernel.template Accumulate<SclB>(st, in + i);
+      total = Kernel::Combine(total, kernel.template Reduce<SclB>(st));
+    }
+    return total;
+  }
+};
+
+// Runtime (v, s, p) dispatch over precompiled HybridReducer
+// instantiations, mirroring HybridGrid for map kernels.
+template <class Kernel, int MaxV, int MaxS, int MaxP,
+          class VecB = DefaultVectorBackend>
+class HybridReduceGrid {
+  static_assert(MaxV >= 0 && MaxS >= 0 && MaxP >= 1 && MaxV + MaxS >= 1);
+
+ public:
+  using Elem = typename VecB::Elem;
+  using Fn = std::uint64_t (*)(const Kernel&, const Elem*, std::size_t);
+
+  static Fn Lookup(const HybridConfig& cfg) {
+    if (!cfg.valid() || cfg.v > MaxV || cfg.s > MaxS || cfg.p > MaxP) {
+      return nullptr;
+    }
+    return kTable[FlatIndex(cfg.v, cfg.s, cfg.p)];
+  }
+
+  static std::uint64_t Run(const HybridConfig& cfg, const Kernel& kernel,
+                           const Elem* in, std::size_t n) {
+    Fn fn = Lookup(cfg);
+    HEF_CHECK_MSG(fn != nullptr, "config %s outside compiled reduce grid",
+                  cfg.ToString().c_str());
+    return fn(kernel, in, n);
+  }
+
+  static std::vector<HybridConfig> Supported() {
+    std::vector<HybridConfig> out;
+    for (int v = 0; v <= MaxV; ++v) {
+      for (int s = 0; s <= MaxS; ++s) {
+        for (int p = 1; p <= MaxP; ++p) {
+          const HybridConfig cfg{v, s, p};
+          if (cfg.valid()) out.push_back(cfg);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kTableSize =
+      static_cast<std::size_t>(MaxV + 1) * (MaxS + 1) * MaxP;
+
+  static constexpr std::size_t FlatIndex(int v, int s, int p) {
+    return (static_cast<std::size_t>(v) * (MaxS + 1) + s) * MaxP + (p - 1);
+  }
+
+  template <std::size_t I>
+  static constexpr Fn MakeEntry() {
+    constexpr int v = static_cast<int>(I / ((MaxS + 1) * MaxP));
+    constexpr int s = static_cast<int>((I / MaxP) % (MaxS + 1));
+    constexpr int p = static_cast<int>(I % MaxP) + 1;
+    if constexpr (v + s >= 1) {
+      return &HybridReducer<Kernel, v, s, p, VecB>::Run;
+    } else {
+      return nullptr;
+    }
+  }
+
+  template <std::size_t... Is>
+  static constexpr std::array<Fn, kTableSize> MakeTable(
+      std::index_sequence<Is...>) {
+    return {MakeEntry<Is>()...};
+  }
+
+  static constexpr std::array<Fn, kTableSize> kTable =
+      MakeTable(std::make_index_sequence<kTableSize>{});
+};
+
+}  // namespace hef
+
+#endif  // HEF_HYBRID_HYBRID_REDUCER_H_

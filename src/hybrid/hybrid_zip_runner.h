@@ -1,0 +1,110 @@
+// HybridZipRunner — the pack combinator for binary map kernels:
+// out[i] = f(a[i], b[i]). Same statement layout and staging as
+// HybridRunner (see hybrid_runner.h); the kernel's Load stage receives
+// both input pointers. Used for measure expressions such as SSB Q1's
+// extendedprice * discount and Q4's revenue - supplycost.
+//
+// Kernel concept:
+//   struct MyZipKernel {
+//     template <typename B> struct State { ... };
+//     template <typename B> void Load(State<B>&, const Elem* a,
+//                                     const Elem* b) const;
+//     template <typename B> void Compute(State<B>&) const;
+//     template <typename B> void Store(Elem* out, const State<B>&) const;
+//   };
+
+#ifndef HEF_HYBRID_HYBRID_ZIP_RUNNER_H_
+#define HEF_HYBRID_HYBRID_ZIP_RUNNER_H_
+
+#include <array>
+#include <cstddef>
+
+#include "common/macros.h"
+#include "hid/hid.h"
+#include "hybrid/hybrid_config.h"
+#include "hybrid/hybrid_runner.h"
+
+namespace hef {
+
+template <class Kernel, int V, int S, int P, class VecB = DefaultVectorBackend>
+class HybridZipRunner {
+  static_assert(P >= 1 && V >= 0 && S >= 0 && V + S >= 1);
+
+ public:
+  using Elem = typename VecB::Elem;
+  using SclB = typename VecB::ScalarCompanion;
+
+  static constexpr int kLanes = VecB::kLanes;
+  static constexpr int kChunk = P * (V * kLanes + S);
+
+  static HEF_NOINLINE void Run(const Kernel& kernel,
+                               const Elem* HEF_RESTRICT a,
+                               const Elem* HEF_RESTRICT b,
+                               Elem* HEF_RESTRICT out, std::size_t n) {
+    using hybrid_internal::ForEach;
+    using VState = typename Kernel::template State<VecB>;
+    using SState = typename Kernel::template State<SclB>;
+
+    constexpr int kPackSpan = V * kLanes + S;
+    std::size_t i = 0;
+
+    std::array<VState, static_cast<std::size_t>(V) * P == 0
+                           ? 1
+                           : static_cast<std::size_t>(V) * P>
+        vstate;
+    std::array<SState, static_cast<std::size_t>(S) * P == 0
+                           ? 1
+                           : static_cast<std::size_t>(S) * P>
+        sstate;
+
+    for (; i + kChunk <= n; i += kChunk) {
+      ForEach<P>([&](auto pk) {
+        constexpr int kP = pk.value;
+        ForEach<V>([&](auto vi) {
+          constexpr int kV = vi.value;
+          const std::size_t at = i + kP * kPackSpan + kV * kLanes;
+          kernel.template Load<VecB>(vstate[kP * V + kV], a + at, b + at);
+        });
+        ForEach<S>([&](auto si) {
+          constexpr int kS = si.value;
+          const std::size_t at = i + kP * kPackSpan + V * kLanes + kS;
+          kernel.template Load<SclB>(sstate[kP * S + kS], a + at, b + at);
+        });
+      });
+      ForEach<P>([&](auto pk) {
+        constexpr int kP = pk.value;
+        ForEach<V>([&](auto vi) {
+          kernel.template Compute<VecB>(vstate[kP * V + vi.value]);
+        });
+        ForEach<S>([&](auto si) {
+          kernel.template Compute<SclB>(sstate[kP * S + si.value]);
+        });
+      });
+      ForEach<P>([&](auto pk) {
+        constexpr int kP = pk.value;
+        ForEach<V>([&](auto vi) {
+          constexpr int kV = vi.value;
+          kernel.template Store<VecB>(out + i + kP * kPackSpan + kV * kLanes,
+                                      vstate[kP * V + kV]);
+        });
+        ForEach<S>([&](auto si) {
+          constexpr int kS = si.value;
+          kernel.template Store<SclB>(
+              out + i + kP * kPackSpan + V * kLanes + kS,
+              sstate[kP * S + kS]);
+        });
+      });
+    }
+
+    for (; i < n; ++i) {
+      SState st;
+      kernel.template Load<SclB>(st, a + i, b + i);
+      kernel.template Compute<SclB>(st);
+      kernel.template Store<SclB>(out + i, st);
+    }
+  }
+};
+
+}  // namespace hef
+
+#endif  // HEF_HYBRID_HYBRID_ZIP_RUNNER_H_

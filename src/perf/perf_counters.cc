@@ -1,0 +1,92 @@
+#include "perf/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace hef {
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+int OpenCounter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t ReadCounter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value)) {
+    value = 0;
+  }
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  group_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+                          /*group_fd=*/-1);
+  if (group_fd_ < 0) {
+    error_ = std::string("perf_event_open failed: ") + std::strerror(errno) +
+             " (PMU unavailable; counter columns will report n/a)";
+    return;
+  }
+  cycles_fd_ =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, group_fd_);
+  // LLC misses are optional — some PMUs expose instructions/cycles only.
+  llc_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
+                        group_fd_);
+}
+
+PerfCounters::~PerfCounters() {
+  if (llc_fd_ >= 0) close(llc_fd_);
+  if (cycles_fd_ >= 0) close(cycles_fd_);
+  if (group_fd_ >= 0) close(group_fd_);
+}
+
+void PerfCounters::Start() {
+  start_nanos_ = NowNanos();
+  if (group_fd_ < 0) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfReading PerfCounters::Stop() {
+  PerfReading r;
+  r.elapsed_seconds =
+      static_cast<double>(NowNanos() - start_nanos_) * 1e-9;
+  if (group_fd_ < 0) return r;
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  r.instructions = ReadCounter(group_fd_);
+  r.cycles = ReadCounter(cycles_fd_);
+  r.llc_misses = ReadCounter(llc_fd_);
+  r.valid = r.instructions > 0 && r.cycles > 0;
+  return r;
+}
+
+}  // namespace hef

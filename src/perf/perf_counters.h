@@ -1,0 +1,76 @@
+// Hardware performance-counter access via perf_event_open.
+//
+// The paper's evaluation reports instructions, IPC, LLC misses and core
+// frequency for every implementation (Tables III-IX). PerfCounters wraps
+// the Linux perf_event interface to collect the same columns. Virtualized
+// or locked-down environments often forbid PMU access; in that case every
+// read reports `valid = false` and the harnesses print "n/a" for PMU
+// columns while keeping wall-clock results — measurement must degrade, not
+// fail.
+
+#ifndef HEF_PERF_PERF_COUNTERS_H_
+#define HEF_PERF_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace hef {
+
+// One measurement window's counter deltas.
+struct PerfReading {
+  bool valid = false;           // PMU was available and counters ran
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t llc_misses = 0;
+  double elapsed_seconds = 0;   // wall clock, always valid
+
+  // Instructions per cycle; 0 when invalid.
+  double Ipc() const {
+    return (valid && cycles > 0)
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+  // Average frequency in GHz over the window; 0 when invalid.
+  double FrequencyGhz() const {
+    return (valid && elapsed_seconds > 0)
+               ? static_cast<double>(cycles) / elapsed_seconds * 1e-9
+               : 0.0;
+  }
+};
+
+// Counter group covering the paper's table columns. Usage:
+//
+//   PerfCounters perf;
+//   perf.Start();
+//   RunKernel();
+//   PerfReading r = perf.Stop();
+//
+// Start()/Stop() pairs may be reused. If perf_event_open fails the object
+// stays usable and Stop() returns readings with valid == false.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  HEF_DISALLOW_COPY_AND_ASSIGN(PerfCounters);
+
+  // True when the PMU opened successfully and readings will be valid.
+  bool available() const { return group_fd_ >= 0; }
+  // Human-readable reason when unavailable.
+  const std::string& error() const { return error_; }
+
+  void Start();
+  PerfReading Stop();
+
+ private:
+  int group_fd_ = -1;   // leader: instructions
+  int cycles_fd_ = -1;
+  int llc_fd_ = -1;
+  std::string error_;
+  std::uint64_t start_nanos_ = 0;
+};
+
+}  // namespace hef
+
+#endif  // HEF_PERF_PERF_COUNTERS_H_

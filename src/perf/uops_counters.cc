@@ -1,0 +1,113 @@
+#include "perf/uops_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hef {
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+int OpenRaw(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_RAW;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+int OpenCycles() {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = PERF_COUNT_HW_CPU_CYCLES;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1, 0));
+}
+
+std::uint64_t ReadCounter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value)) {
+    value = 0;
+  }
+  return value;
+}
+
+// Intel UOPS_EXECUTED.CORE: event 0xB1, umask 0x02; the cycle-threshold
+// variants set CMASK in bits 24..31 (raw config layout:
+// event | umask<<8 | cmask<<24).
+std::uint64_t UopsExecutedGe(int threshold) {
+  return 0xB1ULL | (0x02ULL << 8) |
+         (static_cast<std::uint64_t>(threshold) << 24);
+}
+
+}  // namespace
+
+UopsCounters::UopsCounters() {
+  group_fd_ = OpenCycles();
+  if (group_fd_ < 0) {
+    error_ = std::string("perf_event_open(cycles) failed: ") +
+             std::strerror(errno);
+    return;
+  }
+  for (int n = 1; n <= 4; ++n) {
+    ge_fds_[n - 1] = OpenRaw(UopsExecutedGe(n), group_fd_);
+    if (ge_fds_[n - 1] < 0) {
+      error_ = std::string("raw uops event unavailable: ") +
+               std::strerror(errno) +
+               " (expected on VMs / non-Intel hosts; use the port model)";
+      for (int k = 0; k < n - 1; ++k) {
+        close(ge_fds_[k]);
+        ge_fds_[k] = -1;
+      }
+      close(group_fd_);
+      group_fd_ = -1;
+      return;
+    }
+  }
+}
+
+UopsCounters::~UopsCounters() {
+  for (int fd : ge_fds_) {
+    if (fd >= 0) close(fd);
+  }
+  if (group_fd_ >= 0) close(group_fd_);
+}
+
+void UopsCounters::Start() {
+  if (group_fd_ < 0) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+UopsReading UopsCounters::Stop() {
+  UopsReading r;
+  if (group_fd_ < 0) return r;
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  r.cycles = ReadCounter(group_fd_);
+  for (int n = 0; n < 4; ++n) {
+    r.cycles_ge[n] = ReadCounter(ge_fds_[n]);
+  }
+  r.valid = r.cycles > 0;
+  return r;
+}
+
+}  // namespace hef

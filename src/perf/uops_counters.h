@@ -1,0 +1,52 @@
+// Raw-PMU µop-parallelism counters: UOPS_EXECUTED.CORE with cycle
+// thresholds (CMASK >= 1..4) — the events the paper's Figs. 11-14 are
+// built from ("we use perf_event to capture the detailed runtime
+// information"). On hosts whose PMU exposes raw events (bare-metal
+// Intel), this measures the real histograms; on VMs it degrades exactly
+// like PerfCounters and the port-model simulation stands in.
+
+#ifndef HEF_PERF_UOPS_COUNTERS_H_
+#define HEF_PERF_UOPS_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace hef {
+
+struct UopsReading {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  // cycles_ge[n-1] = cycles in which >= n µops executed (n = 1..4).
+  std::array<std::uint64_t, 4> cycles_ge{};
+
+  double FractionGe(int n) const {
+    if (!valid || cycles == 0 || n < 1 || n > 4) return 0.0;
+    return static_cast<double>(cycles_ge[n - 1]) /
+           static_cast<double>(cycles);
+  }
+};
+
+class UopsCounters {
+ public:
+  UopsCounters();
+  ~UopsCounters();
+  HEF_DISALLOW_COPY_AND_ASSIGN(UopsCounters);
+
+  bool available() const { return group_fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  void Start();
+  UopsReading Stop();
+
+ private:
+  int group_fd_ = -1;  // leader: cycles
+  std::array<int, 4> ge_fds_{-1, -1, -1, -1};
+  std::string error_;
+};
+
+}  // namespace hef
+
+#endif  // HEF_PERF_UOPS_COUNTERS_H_

@@ -1,0 +1,42 @@
+#include "portmodel/kernel_trace.h"
+
+#include "common/macros.h"
+
+namespace hef {
+
+KernelTrace KernelTrace::Build(const std::vector<OpClass>& ops,
+                               const HybridConfig& cfg, Isa vector_isa) {
+  HEF_CHECK_MSG(cfg.valid(), "invalid hybrid config %s",
+                cfg.ToString().c_str());
+  KernelTrace trace;
+  trace.elements_per_chunk_ = cfg.ElementsPerChunk(IsaLanes64(vector_isa));
+
+  // Enumerate instances (pack-major: vector statements then scalar
+  // statements of pack 0, then pack 1, ...).
+  std::vector<Isa> instance_isa;
+  for (int p = 0; p < cfg.p; ++p) {
+    for (int v = 0; v < cfg.v; ++v) instance_isa.push_back(vector_isa);
+    for (int s = 0; s < cfg.s; ++s) instance_isa.push_back(Isa::kScalar);
+  }
+  trace.instances_ = static_cast<int>(instance_isa.size());
+
+  // Emit uops position-major — all instances' statement k before any
+  // statement k+1 — matching the SLP pack layout the translator generates
+  // (Fig. 2(c)): adjacent uops in program order are mutually independent,
+  // the chains interleave.
+  std::vector<int> last_uop(instance_isa.size(), -1);
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    for (std::size_t inst = 0; inst < instance_isa.size(); ++inst) {
+      MicroOp uop;
+      uop.op = ops[k];
+      uop.isa = instance_isa[inst];
+      uop.instance = static_cast<int>(inst);
+      uop.dep = last_uop[inst];
+      last_uop[inst] = static_cast<int>(trace.uops_.size());
+      trace.uops_.push_back(uop);
+    }
+  }
+  return trace;
+}
+
+}  // namespace hef

@@ -1,0 +1,72 @@
+// KernelTrace — a micro-operation stream for one chunk of a hybrid
+// operator, the input of the issue-port simulator.
+//
+// A hybrid implementation at (v, s, p) consists of v*p vector statement
+// instances and s*p scalar statement instances per chunk, each executing
+// the operator's op sequence on its own registers. Ops within one instance
+// form a dependent chain (the kernel bodies HEF targets — hash chains,
+// CRC chains — are strictly sequential per element group); instances are
+// mutually independent. That is exactly the structure the pack
+// transformation creates, and it is what lets the simulator reproduce the
+// paper's µop-parallelism histograms (Figs 11-14).
+
+#ifndef HEF_PORTMODEL_KERNEL_TRACE_H_
+#define HEF_PORTMODEL_KERNEL_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hybrid/hybrid_config.h"
+#include "procinfo/cpu_features.h"
+#include "procinfo/instruction_table.h"
+
+namespace hef {
+
+struct MicroOp {
+  OpClass op;
+  Isa isa;
+  // Statement instance this uop belongs to; uops of one instance chain.
+  int instance = 0;
+  // Index of the uop this one consumes, or -1 for chain heads. Filled by
+  // KernelTrace (previous uop of the same instance).
+  int dep = -1;
+};
+
+class KernelTrace {
+ public:
+  // Expands the operator's op sequence into a chunk's micro-op stream for
+  // implementation `cfg`: v*p instances at `vector_isa`, s*p instances at
+  // scalar. Instance uop chains are built in stage-major order (all loads,
+  // then computes, then stores are interleaved per instance by the
+  // simulator's readiness rules anyway, so program order here follows
+  // instance-major for simplicity).
+  static KernelTrace Build(const std::vector<OpClass>& ops,
+                           const HybridConfig& cfg, Isa vector_isa);
+
+  const std::vector<MicroOp>& uops() const { return uops_; }
+  int instances() const { return instances_; }
+  // 64-bit data elements one chunk covers (p * (v*lanes + s)).
+  int elements_per_chunk() const { return elements_per_chunk_; }
+
+  // Randomly-accessed working set of the kernel's gathers (lookup table /
+  // hash-table slabs). Defaults to L1-resident (the synthetic kernels'
+  // 2 KiB CRC table); the simulator adds the processor model's cache-level
+  // latency penalty to gathers when this outgrows a level.
+  std::size_t gather_footprint_bytes() const {
+    return gather_footprint_bytes_;
+  }
+  void set_gather_footprint_bytes(std::size_t bytes) {
+    gather_footprint_bytes_ = bytes;
+  }
+
+ private:
+  std::vector<MicroOp> uops_;
+  int instances_ = 0;
+  int elements_per_chunk_ = 0;
+  std::size_t gather_footprint_bytes_ = 2048;
+};
+
+}  // namespace hef
+
+#endif  // HEF_PORTMODEL_KERNEL_TRACE_H_

@@ -1,0 +1,178 @@
+#include "portmodel/port_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "procinfo/instruction_table.h"
+
+namespace hef {
+
+PortModel::PortModel(const ProcessorModel& model) : model_(model) {
+  // Build the port list from the pipe counts. Shared pipes (the Skylake
+  // fused port-0/1 unit and port 5) serve both SIMD and scalar uops;
+  // exclusive scalar pipes serve scalar uops only. The first SIMD pipe and
+  // the first scalar pipe carry the respective multiply units.
+  const int simd = model.simd_pipes;
+  const int shared = std::min(model.shared_pipes, model.scalar_alu_pipes);
+  const int exclusive_scalar = model.scalar_alu_pipes - shared;
+
+  for (int i = 0; i < simd; ++i) {
+    Port p;
+    p.simd_alu = true;
+    p.simd_mul = i < model.simd_mul_pipes;
+    p.scalar_alu = i < shared;  // shared issue port
+    ports_.push_back(p);
+  }
+  // Shared ports beyond the SIMD pipe count (possible on asymmetric
+  // configs) fall through to plain scalar ports below.
+  for (int i = 0; i < exclusive_scalar + std::max(0, shared - simd); ++i) {
+    Port p;
+    p.scalar_alu = true;
+    p.scalar_mul = i == 0;  // one scalar multiply pipe (SKX port 1)
+    ports_.push_back(p);
+  }
+  for (int i = 0; i < model.load_ports; ++i) {
+    Port p;
+    p.load = true;
+    ports_.push_back(p);
+  }
+  for (int i = 0; i < model.store_ports; ++i) {
+    Port p;
+    p.store = true;
+    ports_.push_back(p);
+  }
+}
+
+std::string PortModel::DescribePorts() const {
+  std::string out;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const Port& p = ports_[i];
+    out += "port" + std::to_string(i) + ":";
+    if (p.simd_alu) out += " simd-alu";
+    if (p.simd_mul) out += " simd-mul";
+    if (p.scalar_alu) out += " scalar-alu";
+    if (p.scalar_mul) out += " scalar-mul";
+    if (p.load) out += " load";
+    if (p.store) out += " store";
+    out += "\n";
+  }
+  return out;
+}
+
+PortSimResult PortModel::Simulate(const KernelTrace& trace,
+                                  int iterations) const {
+  HEF_CHECK(iterations >= 1);
+  const InstructionTable& table = InstructionTable::Get();
+
+  // Materialize the full stream: `iterations` independent copies of the
+  // chunk trace (streaming kernels carry no loop dependence).
+  struct Scheduled {
+    OpClass op;
+    Isa isa;
+    int dep;               // absolute index or -1
+    std::int64_t ready = 0;    // earliest issue cycle (dep latency)
+    std::int64_t finish = -1;  // result availability; -1 = not issued
+    bool issued = false;
+  };
+  const auto& chunk = trace.uops();
+  std::vector<Scheduled> stream;
+  stream.reserve(chunk.size() * static_cast<std::size_t>(iterations));
+  bool any_avx512 = false;
+  for (int it = 0; it < iterations; ++it) {
+    const int base = static_cast<int>(stream.size());
+    for (const MicroOp& u : chunk) {
+      Scheduled s;
+      s.op = u.op;
+      s.isa = u.isa;
+      s.dep = u.dep < 0 ? -1 : base + u.dep;
+      stream.push_back(s);
+      if (u.isa == Isa::kAvx512) any_avx512 = true;
+    }
+  }
+
+  std::vector<std::int64_t> port_busy_until(ports_.size(), 0);
+
+  PortSimResult result;
+  result.elements =
+      static_cast<std::uint64_t>(trace.elements_per_chunk()) * iterations;
+  result.assumed_ghz = any_avx512 ? model_.avx512_ghz : model_.base_ghz;
+
+  std::size_t oldest_unissued = 0;
+  std::int64_t cycle = 0;
+  const std::int64_t kMaxCycles =
+      static_cast<std::int64_t>(stream.size()) * 64 + 1024;
+
+  while (oldest_unissued < stream.size()) {
+    HEF_CHECK_MSG(cycle < kMaxCycles, "port model did not converge");
+    int issued_this_cycle = 0;
+    int uops_this_cycle = 0;
+
+    const std::size_t window_end = std::min(
+        stream.size(),
+        oldest_unissued + static_cast<std::size_t>(model_.scheduler_entries));
+    for (std::size_t i = oldest_unissued;
+         i < window_end && issued_this_cycle < model_.issue_width; ++i) {
+      Scheduled& s = stream[i];
+      if (s.issued) continue;
+      // Dependence: the producing instruction's result must be available.
+      if (s.dep >= 0) {
+        const Scheduled& d = stream[static_cast<std::size_t>(s.dep)];
+        if (!d.issued || d.finish > cycle) continue;
+      }
+      const InstructionInfo& info = table.Lookup(s.op, s.isa);
+      // Gathers pay the cache-level penalty of the kernel's random-access
+      // footprint (instruction tables record L1-resident latency).
+      const std::int64_t mem_penalty =
+          (s.op == OpClass::kGather)
+              ? model_.LoadLatencyPenalty(trace.gather_footprint_bytes())
+              : 0;
+      // Find a free supporting port.
+      int port = -1;
+      for (std::size_t p = 0; p < ports_.size(); ++p) {
+        if (ports_[p].Supports(info.port) && port_busy_until[p] <= cycle) {
+          port = static_cast<int>(p);
+          break;
+        }
+      }
+      if (port < 0) continue;
+      // Issue.
+      s.issued = true;
+      const std::int64_t occupancy =
+          std::max<std::int64_t>(1, std::llround(std::ceil(info.throughput)));
+      port_busy_until[static_cast<std::size_t>(port)] = cycle + occupancy;
+      s.finish = cycle +
+                 std::max<std::int64_t>(1, std::llround(info.latency)) +
+                 mem_penalty;
+      ++issued_this_cycle;
+      uops_this_cycle += info.uops;
+      result.total_uops += static_cast<std::uint64_t>(info.uops);
+      ++result.total_instructions;
+    }
+
+    // Histogram: cycles with >= n uops executed.
+    for (int n = 0; n < static_cast<int>(result.cycles_with_ge.size());
+         ++n) {
+      if (uops_this_cycle >= n) ++result.cycles_with_ge[n];
+    }
+
+    while (oldest_unissued < stream.size() &&
+           stream[oldest_unissued].issued) {
+      ++oldest_unissued;
+    }
+    ++cycle;
+  }
+
+  // Drain: account for the cycles until the last result is ready.
+  std::int64_t last_finish = cycle;
+  for (const Scheduled& s : stream) {
+    last_finish = std::max(last_finish, s.finish);
+  }
+  const std::int64_t drain = last_finish - cycle;
+  result.total_cycles = static_cast<std::uint64_t>(cycle + drain);
+  result.cycles_with_ge[0] = result.total_cycles;
+
+  return result;
+}
+
+}  // namespace hef

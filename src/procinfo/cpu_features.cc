@@ -1,0 +1,96 @@
+#include "procinfo/cpu_features.h"
+
+#include <cpuid.h>
+
+#include <array>
+#include <cstring>
+
+namespace hef {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+int IsaLanes64(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return 1;
+    case Isa::kAvx2:
+      return 4;
+    case Isa::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+
+  // Vendor string from leaf 0.
+  if (__get_cpuid(0, &eax, &ebx, &ecx, &edx)) {
+    char vendor[13] = {};
+    std::memcpy(vendor + 0, &ebx, 4);
+    std::memcpy(vendor + 4, &edx, 4);
+    std::memcpy(vendor + 8, &ecx, 4);
+    f.vendor = vendor;
+  }
+
+  // Extended features from leaf 7 subleaf 0.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1;
+    f.avx512f = (ebx >> 16) & 1;
+    f.avx512dq = (ebx >> 17) & 1;
+    f.avx512cd = (ebx >> 28) & 1;
+    f.avx512bw = (ebx >> 30) & 1;
+    f.avx512vl = (ebx >> 31) & 1;
+  }
+
+  // Brand string from extended leaves 0x80000002..4.
+  std::array<unsigned, 12> brand_words = {};
+  bool have_brand = true;
+  for (unsigned leaf = 0; leaf < 3; ++leaf) {
+    if (!__get_cpuid(0x80000002U + leaf, &eax, &ebx, &ecx, &edx)) {
+      have_brand = false;
+      break;
+    }
+    brand_words[leaf * 4 + 0] = eax;
+    brand_words[leaf * 4 + 1] = ebx;
+    brand_words[leaf * 4 + 2] = ecx;
+    brand_words[leaf * 4 + 3] = edx;
+  }
+  if (have_brand) {
+    char brand[49] = {};
+    std::memcpy(brand, brand_words.data(), 48);
+    f.brand = brand;
+    // Trim leading spaces Intel pads with.
+    const auto pos = f.brand.find_first_not_of(' ');
+    if (pos != std::string::npos) f.brand = f.brand.substr(pos);
+  }
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& CpuFeatures::Get() {
+  static const CpuFeatures kFeatures = Detect();
+  return kFeatures;
+}
+
+Isa CpuFeatures::BestIsa() const {
+  if (avx512f && avx512dq) return Isa::kAvx512;
+  if (avx2) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+}  // namespace hef

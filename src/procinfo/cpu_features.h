@@ -1,0 +1,45 @@
+// Runtime detection of the vector ISA features HEF kernels can use.
+
+#ifndef HEF_PROCINFO_CPU_FEATURES_H_
+#define HEF_PROCINFO_CPU_FEATURES_H_
+
+#include <string>
+
+namespace hef {
+
+// Best vector ISA usable for a kernel. kScalar is always available; the
+// hybrid intermediate description lowers to whichever is present (paper
+// Table I lists the scalar / AVX2 / AVX-512 lowerings side by side).
+enum class Isa {
+  kScalar,
+  kAvx2,
+  kAvx512,
+};
+
+const char* IsaName(Isa isa);
+
+// Number of 64-bit lanes a register of the given ISA holds.
+int IsaLanes64(Isa isa);
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512dq = false;   // needed for vpmullq (64-bit multiply)
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512cd = false;   // conflict detection (vpconflictd)
+  std::string vendor;
+  std::string brand;
+
+  // Queries CPUID once and caches the result for the process lifetime.
+  static const CpuFeatures& Get();
+
+  // The widest ISA whose Table-I op set is fully supported. AVX-512 requires
+  // F+DQ (64-bit integer multiply and compress); AVX2 alone falls back to
+  // the AVX2 lowering.
+  Isa BestIsa() const;
+};
+
+}  // namespace hef
+
+#endif  // HEF_PROCINFO_CPU_FEATURES_H_

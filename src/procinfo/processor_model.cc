@@ -1,0 +1,64 @@
+#include "procinfo/processor_model.h"
+
+#include "procinfo/cpu_features.h"
+
+namespace hef {
+
+ProcessorModel ProcessorModel::Silver4110() {
+  ProcessorModel m;
+  m.name = "silver4110";
+  m.simd_pipes = 1;  // single fused AVX-512 unit (ports 0+1)
+  m.scalar_alu_pipes = 4;
+  m.scalar_mul_pipes = 1;
+  m.simd_mul_pipes = 1;
+  m.shared_pipes = 1;  // the fused p0/p1 pipe also serves scalar uops
+  m.load_ports = 2;
+  m.store_ports = 1;
+  m.base_ghz = 3.0;     // 4110 all-core turbo ~2.7-3.0
+  m.avx512_ghz = 2.2;   // heavy AVX-512 license
+  m.issue_width = 4;
+  m.scheduler_entries = 97;
+  return m;
+}
+
+ProcessorModel ProcessorModel::Gold6240R() {
+  ProcessorModel m;
+  m.name = "gold6240r";
+  m.simd_pipes = 2;  // fused p0+p1 plus the dedicated port-5 AVX-512 unit
+  m.scalar_alu_pipes = 4;
+  m.scalar_mul_pipes = 1;
+  m.simd_mul_pipes = 2;
+  m.shared_pipes = 2;  // both SIMD pipes sit on scalar-capable ports
+  m.load_ports = 2;
+  m.store_ports = 1;
+  m.base_ghz = 3.3;
+  m.avx512_ghz = 2.4;
+  m.issue_width = 4;
+  m.scheduler_entries = 97;
+  return m;
+}
+
+ProcessorModel ProcessorModel::Host() {
+  // Without a microarchitecture database we assume the Skylake-SP shape the
+  // paper describes, upgraded to two SIMD pipes when AVX-512 is present
+  // (most post-Skylake server parts) and downgraded to the AVX2 shape when
+  // it is not.
+  const CpuFeatures& f = CpuFeatures::Get();
+  ProcessorModel m =
+      f.avx512f ? Gold6240R() : Silver4110();
+  m.name = "host";
+  if (!f.avx512f) {
+    m.simd_pipes = f.avx2 ? 2 : 0;
+  }
+  return m;
+}
+
+Result<ProcessorModel> ProcessorModel::ByName(const std::string& name) {
+  if (name == "silver4110") return Silver4110();
+  if (name == "gold6240r") return Gold6240R();
+  if (name == "host") return Host();
+  return Status::InvalidArgument("unknown processor model '" + name +
+                                 "' (expected silver4110|gold6240r|host)");
+}
+
+}  // namespace hef

@@ -1,0 +1,159 @@
+#include "ssb/database.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace hef::ssb {
+
+namespace {
+
+constexpr int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+void GenerateDate(DateDim* date) {
+  date->n = kDaysInSsb;
+  date->datekey.Allocate(date->n, 8);
+  date->year.Allocate(date->n, 8);
+  date->yearmonthnum.Allocate(date->n, 8);
+  date->weeknuminyear.Allocate(date->n, 8);
+
+  // The 1992-1998 calendar has 2557 days, but the SSB dbgen date table has
+  // exactly 2556 rows (it stops at 1998-12-30); we match dbgen.
+  std::size_t row = 0;
+  for (int y = kFirstYear; y <= kLastYear && row < date->n; ++y) {
+    int day_of_year = 1;
+    for (int m = 1; m <= 12 && row < date->n; ++m) {
+      int days = kDaysPerMonth[m - 1];
+      if (m == 2 && IsLeapYear(y)) days += 1;
+      for (int d = 1; d <= days && row < date->n; ++d, ++day_of_year, ++row) {
+        date->datekey[row] =
+            static_cast<std::uint64_t>(y) * 10000 + m * 100 + d;
+        date->year[row] = static_cast<std::uint64_t>(y);
+        date->yearmonthnum[row] =
+            static_cast<std::uint64_t>(y) * 100 + m;
+        date->weeknuminyear[row] =
+            static_cast<std::uint64_t>((day_of_year - 1) / 7 + 1);
+      }
+    }
+  }
+  HEF_CHECK_MSG(row == kDaysInSsb, "calendar produced %zu days", row);
+}
+
+void GenerateGeo(std::size_t n, std::uint64_t seed, Column* city,
+                 Column* nation, Column* region) {
+  Rng rng(seed);
+  city->Allocate(n, 8);
+  nation->Allocate(n, 8);
+  region->Allocate(n, 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c = rng.Uniform(0, kNumCities - 1);
+    (*city)[i] = c;
+    (*nation)[i] = NationOfCity(c);
+    (*region)[i] = RegionOfNation(NationOfCity(c));
+  }
+}
+
+void GeneratePart(std::size_t n, std::uint64_t seed, PartDim* part) {
+  Rng rng(seed);
+  part->n = n;
+  part->mfgr.Allocate(n, 8);
+  part->category.Allocate(n, 8);
+  part->brand1.Allocate(n, 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t m = rng.Uniform(1, 5);
+    const std::uint64_t c = m * 10 + rng.Uniform(1, 5);
+    const std::uint64_t b = m * 1000 + (c % 10) * 100 + rng.Uniform(1, 40);
+    part->mfgr[i] = m;
+    part->category[i] = c;
+    part->brand1[i] = b;
+  }
+}
+
+}  // namespace
+
+SsbDatabase SsbDatabase::Generate(double sf, std::uint64_t seed) {
+  HEF_CHECK_MSG(sf > 0, "scale factor must be positive");
+  SsbDatabase db;
+  db.scale_factor = sf;
+
+  GenerateDate(&db.date);
+
+  const auto n_customers = static_cast<std::size_t>(
+      std::max(1.0, std::llround(30000.0 * sf) * 1.0));
+  const auto n_suppliers = static_cast<std::size_t>(
+      std::max(1.0, std::llround(2000.0 * sf) * 1.0));
+  // dbgen: parts scale logarithmically — 200k * (1 + floor(log2(sf))).
+  const double log_scale = sf >= 1.0 ? std::floor(std::log2(sf)) : 0.0;
+  const auto n_parts = static_cast<std::size_t>(
+      std::max(1.0, 200000.0 * (1.0 + log_scale) * std::min(1.0, sf)));
+  const auto n_lineorder = static_cast<std::size_t>(
+      std::max(1.0, std::llround(6000000.0 * sf) * 1.0));
+
+  db.customer.n = n_customers;
+  GenerateGeo(n_customers, seed ^ 0xC0FFEE, &db.customer.city,
+              &db.customer.nation, &db.customer.region);
+  db.supplier.n = n_suppliers;
+  GenerateGeo(n_suppliers, seed ^ 0x5A5A5A, &db.supplier.city,
+              &db.supplier.nation, &db.supplier.region);
+  GeneratePart(n_parts, seed ^ 0x9A97, &db.part);
+
+  LineorderFact& lo = db.lineorder;
+  lo.n = n_lineorder;
+  lo.orderdate.Allocate(lo.n, 8);
+  lo.custkey.Allocate(lo.n, 8);
+  lo.suppkey.Allocate(lo.n, 8);
+  lo.partkey.Allocate(lo.n, 8);
+  lo.quantity.Allocate(lo.n, 8);
+  lo.discount.Allocate(lo.n, 8);
+  lo.extendedprice.Allocate(lo.n, 8);
+  lo.revenue.Allocate(lo.n, 8);
+  lo.supplycost.Allocate(lo.n, 8);
+
+  Rng rng(seed ^ 0x11E0DDE5);
+  for (std::size_t i = 0; i < lo.n; ++i) {
+    const std::uint64_t day = rng.Uniform(0, kDaysInSsb - 1);
+    lo.orderdate[i] = db.date.datekey[day];
+    lo.custkey[i] = rng.Uniform(1, n_customers);
+    lo.suppkey[i] = rng.Uniform(1, n_suppliers);
+    lo.partkey[i] = rng.Uniform(1, n_parts);
+    const std::uint64_t quantity = rng.Uniform(1, 50);
+    const std::uint64_t discount = rng.Uniform(0, 10);
+    // Unit price in cents, dbgen-like magnitude (~900..2100).
+    const std::uint64_t unit_price = 900 + rng.Uniform(0, 1200);
+    const std::uint64_t extendedprice = quantity * unit_price;
+    lo.quantity[i] = quantity;
+    lo.discount[i] = discount;
+    lo.extendedprice[i] = extendedprice;
+    lo.revenue[i] = extendedprice * (100 - discount) / 100;
+    // Supply cost averages ~60% of price with +-10% jitter.
+    lo.supplycost[i] = extendedprice * rng.Uniform(50, 70) / 100;
+  }
+  return db;
+}
+
+std::size_t SsbDatabase::TotalBytes() const {
+  auto bytes = [](const Column& c) { return c.capacity() * sizeof(std::uint64_t); };
+  std::size_t total = 0;
+  total += bytes(date.datekey) + bytes(date.year) + bytes(date.yearmonthnum) +
+           bytes(date.weeknuminyear);
+  total += bytes(customer.city) + bytes(customer.nation) +
+           bytes(customer.region);
+  total += bytes(supplier.city) + bytes(supplier.nation) +
+           bytes(supplier.region);
+  total += bytes(part.mfgr) + bytes(part.category) + bytes(part.brand1);
+  total += bytes(lineorder.orderdate) + bytes(lineorder.custkey) +
+           bytes(lineorder.suppkey) + bytes(lineorder.partkey) +
+           bytes(lineorder.quantity) + bytes(lineorder.discount) +
+           bytes(lineorder.extendedprice) + bytes(lineorder.revenue) +
+           bytes(lineorder.supplycost);
+  return total;
+}
+
+}  // namespace hef::ssb

@@ -1,0 +1,88 @@
+// In-memory SSB database: column-store tables plus the deterministic data
+// generator (the in-repo substitute for the SSB dbgen binary).
+//
+// Layout is struct-of-arrays with 64-byte-aligned integer columns — the
+// storage model the paper's vectorized pipelines scan. Surrogate keys are
+// 1-based and dense (custkey in [1, n_customers]), matching dbgen.
+
+#ifndef HEF_SSB_DATABASE_H_
+#define HEF_SSB_DATABASE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "ssb/schema.h"
+
+namespace hef::ssb {
+
+using Column = AlignedBuffer<std::uint64_t>;
+
+// DATE dimension: one row per calendar day 1992-01-01 .. 1998-12-31.
+struct DateDim {
+  std::size_t n = 0;
+  Column datekey;        // yyyymmdd
+  Column year;           // 1992..1998
+  Column yearmonthnum;   // yyyymm
+  Column weeknuminyear;  // 1..53
+};
+
+// CUSTOMER dimension. Row i holds custkey i+1.
+struct CustomerDim {
+  std::size_t n = 0;
+  Column city;    // 0..249
+  Column nation;  // 0..24
+  Column region;  // 0..4
+};
+
+// SUPPLIER dimension. Row i holds suppkey i+1.
+struct SupplierDim {
+  std::size_t n = 0;
+  Column city;
+  Column nation;
+  Column region;
+};
+
+// PART dimension. Row i holds partkey i+1.
+struct PartDim {
+  std::size_t n = 0;
+  Column mfgr;      // 1..5
+  Column category;  // 11..55
+  Column brand1;    // 1101..5540
+};
+
+// LINEORDER fact table (only the columns the SSB queries touch).
+struct LineorderFact {
+  std::size_t n = 0;
+  Column orderdate;      // datekey (yyyymmdd)
+  Column custkey;        // 1..customers
+  Column suppkey;        // 1..suppliers
+  Column partkey;        // 1..parts
+  Column quantity;       // 1..50
+  Column discount;       // 0..10 (percent)
+  Column extendedprice;  // quantity * unit price
+  Column revenue;        // extendedprice * (100 - discount) / 100
+  Column supplycost;     // per-unit supply cost * quantity
+};
+
+struct SsbDatabase {
+  double scale_factor = 0;
+  DateDim date;
+  CustomerDim customer;
+  SupplierDim supplier;
+  PartDim part;
+  LineorderFact lineorder;
+
+  // Generates a database at scale factor `sf` (SF1 = 6M lineorder rows,
+  // 30k customers, 2k suppliers, 200k parts — the dbgen row counts).
+  // Deterministic in (sf, seed). Fractional sf (e.g. 0.01) is supported
+  // for tests.
+  static SsbDatabase Generate(double sf, std::uint64_t seed = 19920101);
+
+  // Approximate resident size of all columns, for logging.
+  std::size_t TotalBytes() const;
+};
+
+}  // namespace hef::ssb
+
+#endif  // HEF_SSB_DATABASE_H_

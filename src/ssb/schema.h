@@ -1,0 +1,80 @@
+// Star Schema Benchmark schema: dictionary encodings and name mappings.
+//
+// All SSB attributes HEF touches are dictionary-encoded 64-bit integers
+// (the paper: analytics data is primarily integer). The encodings preserve
+// the benchmark's hierarchies so every SSB predicate becomes an integer
+// comparison:
+//
+//   region   0..4
+//   nation   region * 5 + i            (25 nations, 5 per region)
+//   city     nation * 10 + j           (250 cities, 10 per nation)
+//   mfgr     m                         (1..5)
+//   category m * 10 + c                (c = 1..5  -> "MFGR#mc")
+//   brand1   m * 1000 + c * 100 + b    (b = 1..40 -> "MFGR#mcbb")
+//
+// e.g. "MFGR#2221" encodes to 2221 and BrandToCategory(2221) == 22.
+
+#ifndef HEF_SSB_SCHEMA_H_
+#define HEF_SSB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hef::ssb {
+
+inline constexpr int kNumRegions = 5;
+inline constexpr int kNumNations = 25;
+inline constexpr int kNumCities = 250;
+inline constexpr int kDaysInSsb = 2556;  // 1992-01-01 .. 1998-12-31
+inline constexpr int kFirstYear = 1992;
+inline constexpr int kLastYear = 1998;
+
+// Region codes.
+enum Region : std::uint64_t {
+  kAfrica = 0,
+  kAmerica = 1,
+  kAsia = 2,
+  kEurope = 3,
+  kMiddleEast = 4,
+};
+
+const char* RegionName(std::uint64_t region);
+std::string NationName(std::uint64_t nation);
+// SSB city names are the nation name truncated/padded to 9 characters plus
+// a digit, e.g. "UNITED KI1".
+std::string CityName(std::uint64_t city);
+std::string MfgrName(std::uint64_t mfgr);
+std::string CategoryName(std::uint64_t category);
+std::string BrandName(std::uint64_t brand);
+
+// Reverse lookups used by query harnesses; return InvalidArgument when the
+// name is not part of the schema.
+Result<std::uint64_t> RegionCode(const std::string& name);
+Result<std::uint64_t> NationCode(const std::string& name);
+Result<std::uint64_t> CityCode(const std::string& name);
+// "MFGR#12" -> 12 (category) / "MFGR#2221" -> 2221 (brand) / "MFGR#2" -> 2.
+Result<std::uint64_t> MfgrSeriesCode(const std::string& name);
+
+inline std::uint64_t NationOfCity(std::uint64_t city) { return city / 10; }
+inline std::uint64_t RegionOfNation(std::uint64_t nation) {
+  return nation / 5;
+}
+inline std::uint64_t BrandToCategory(std::uint64_t brand) {
+  return brand / 100;
+}
+inline std::uint64_t CategoryToMfgr(std::uint64_t category) {
+  return category / 10;
+}
+
+// Well-known codes used by the query definitions (kept symbolic so the
+// query code reads like the SQL).
+inline constexpr std::uint64_t kNationUnitedStates = 9;    // AMERICA slot 4
+inline constexpr std::uint64_t kNationUnitedKingdom = 19;  // EUROPE slot 4
+inline constexpr std::uint64_t kCityUnitedKi1 = 191;       // "UNITED KI1"
+inline constexpr std::uint64_t kCityUnitedKi5 = 195;       // "UNITED KI5"
+
+}  // namespace hef::ssb
+
+#endif  // HEF_SSB_SCHEMA_H_

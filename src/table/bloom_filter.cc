@@ -1,0 +1,114 @@
+#include "table/bloom_filter.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "hybrid/hybrid_grid.h"
+
+namespace hef {
+
+namespace {
+
+std::size_t NextPow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_keys, double bits_per_key)
+    : hash_seed_(kMurmurDefaultSeed) {
+  HEF_CHECK_MSG(bits_per_key >= 1, "need at least one bit per key");
+  const double wanted =
+      static_cast<double>(expected_keys < 1 ? 1 : expected_keys) *
+      bits_per_key;
+  bit_count_ = NextPow2(static_cast<std::size_t>(wanted) < 512
+                            ? 512
+                            : static_cast<std::size_t>(wanted));
+  bit_mask_ = bit_count_ - 1;
+  const int k = static_cast<int>(std::lround(bits_per_key * 0.693));
+  num_probes_ = k < 1 ? 1 : (k > 8 ? 8 : k);
+  // One vector of slack so 8-lane gathers at the top word cannot fault.
+  words_.Allocate(bit_count_ / 64, /*padding_elems=*/8);
+}
+
+void BloomFilter::HashPair(std::uint64_t key, std::uint64_t seed,
+                           std::uint64_t* h1, std::uint64_t* h2) {
+  const std::uint64_t h = Murmur64(key, seed);
+  *h1 = h;
+  *h2 = ((h >> 32) | (h << 32)) | 1;
+}
+
+void BloomFilter::Insert(std::uint64_t key) {
+  std::uint64_t h1 = 0, h2 = 0;
+  HashPair(key, hash_seed_, &h1, &h2);
+  std::uint64_t pos = h1;
+  for (int i = 0; i < num_probes_; ++i) {
+    const std::uint64_t bit = pos & bit_mask_;
+    words_[bit >> 6] |= 1ULL << (bit & 63);
+    pos += h2;
+  }
+}
+
+bool BloomFilter::MayContain(std::uint64_t key) const {
+  std::uint64_t h1 = 0, h2 = 0;
+  HashPair(key, hash_seed_, &h1, &h2);
+  std::uint64_t pos = h1;
+  for (int i = 0; i < num_probes_; ++i) {
+    const std::uint64_t bit = pos & bit_mask_;
+    if (((words_[bit >> 6] >> (bit & 63)) & 1) == 0) {
+      return false;
+    }
+    pos += h2;
+  }
+  return true;
+}
+
+std::vector<OpClass> BloomProbeKernel::Ops(int num_probes) {
+  std::vector<OpClass> ops = MurmurKernel::Ops();
+  ops.pop_back();  // the hash chain continues instead of storing
+  // h2 derivation.
+  ops.push_back(OpClass::kShiftRight);
+  ops.push_back(OpClass::kShiftLeft);
+  ops.push_back(OpClass::kOr);
+  ops.push_back(OpClass::kOr);
+  for (int i = 0; i < num_probes; ++i) {
+    ops.push_back(OpClass::kAnd);         // bit position
+    ops.push_back(OpClass::kShiftRight);  // word index
+    ops.push_back(OpClass::kGather);      // word fetch
+    ops.push_back(OpClass::kShiftRight);  // variable bit test
+    ops.push_back(OpClass::kAnd);
+    ops.push_back(OpClass::kCmpEq);
+    ops.push_back(OpClass::kAdd);  // pos += h2
+  }
+  ops.push_back(OpClass::kBlend);
+  ops.push_back(OpClass::kStore);
+  return ops;
+}
+
+namespace {
+
+using BloomGrid = HybridGrid<BloomProbeKernel, /*MaxV=*/4, /*MaxS=*/4,
+                             /*MaxP=*/3>;
+
+}  // namespace
+
+void BloomProbeArray(const HybridConfig& cfg, const BloomFilter& filter,
+                     const std::uint64_t* keys, std::uint64_t* out,
+                     std::size_t n) {
+  BloomProbeKernel kernel;
+  kernel.words = filter.words();
+  kernel.bit_mask = filter.bit_count() - 1;
+  kernel.num_probes = filter.num_probes();
+  kernel.seed = filter.hash_seed();
+  BloomGrid::Run(cfg, kernel, keys, out, n);
+}
+
+const std::vector<HybridConfig>& BloomProbeSupportedConfigs() {
+  static const std::vector<HybridConfig>* configs =
+      new std::vector<HybridConfig>(BloomGrid::Supported());
+  return *configs;
+}
+
+}  // namespace hef

@@ -1,0 +1,130 @@
+// Bloom filter with scalar / SIMD / hybrid probe kernels.
+//
+// Bloom filters are one of the SIMD-accelerated operators the paper's
+// related work singles out (ultra-fast SIMD Bloom filters, [24]); in star
+// joins they pre-filter probe keys before the hash join. The membership
+// probe is a Murmur hash chain followed by k dependent gather+test rounds
+// — the same compute-then-gather mix as the join probe, and therefore a
+// natural hybrid-execution candidate: packing independent probe chains
+// hides the word-gather latency exactly as in CRC64.
+//
+// Construction: standard double hashing — bit_i(key) = h1 + i * h2 over a
+// power-of-two bit array, h1/h2 derived from one MurmurHash64A evaluation.
+
+#ifndef HEF_TABLE_BLOOM_FILTER_H_
+#define HEF_TABLE_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "algo/murmur.h"
+#include "common/aligned_buffer.h"
+#include "hid/hid.h"
+#include "hybrid/hybrid_config.h"
+#include "procinfo/instruction_table.h"
+
+namespace hef {
+
+class BloomFilter {
+ public:
+  // Sizes the bit array for `expected_keys` at `bits_per_key` (rounded up
+  // to a power of two); k = round(ln2 * bits_per_key) probes, clamped to
+  // [1, 8].
+  explicit BloomFilter(std::size_t expected_keys, double bits_per_key = 10);
+
+  void Insert(std::uint64_t key);
+  // Scalar reference probe: false means definitely absent.
+  bool MayContain(std::uint64_t key) const;
+
+  std::size_t bit_count() const { return bit_count_; }
+  int num_probes() const { return num_probes_; }
+  const std::uint64_t* words() const { return words_.data(); }
+  std::uint64_t hash_seed() const { return hash_seed_; }
+
+  // Derives the double-hashing pair from one murmur evaluation.
+  static void HashPair(std::uint64_t key, std::uint64_t seed,
+                       std::uint64_t* h1, std::uint64_t* h2);
+
+ private:
+  std::size_t bit_count_ = 0;   // power of two
+  std::uint64_t bit_mask_ = 0;  // bit_count - 1
+  int num_probes_ = 1;
+  std::uint64_t hash_seed_;
+  AlignedBuffer<std::uint64_t> words_;
+};
+
+// Map kernel: out[i] = 1 if the filter may contain in[i], else 0.
+struct BloomProbeKernel {
+  const std::uint64_t* words = nullptr;
+  std::uint64_t bit_mask = 0;
+  int num_probes = 1;
+  std::uint64_t seed = kMurmurDefaultSeed;
+
+  template <typename B>
+  struct State {
+    typename B::Reg key;
+    typename B::Reg result;
+  };
+
+  template <typename B>
+  HEF_INLINE void Load(State<B>& st, const std::uint64_t* in) const {
+    st.key = B::LoadU(in);
+  }
+
+  template <typename B>
+  HEF_INLINE void Compute(State<B>& st) const {
+    using Reg = typename B::Reg;
+    using Mask = typename B::Mask;
+
+    // MurmurHash64A chain (as in BloomFilter::HashPair).
+    const Reg m = B::Set1(kMurmurM);
+    Reg k = B::Mul(st.key, m);
+    k = B::Xor(k, B::template Srli<kMurmurR>(k));
+    k = B::Mul(k, m);
+    Reg h = B::Set1(seed ^ (8ULL * kMurmurM));
+    h = B::Xor(h, k);
+    h = B::Mul(h, m);
+    h = B::Xor(h, B::template Srli<kMurmurR>(h));
+    h = B::Mul(h, m);
+    h = B::Xor(h, B::template Srli<kMurmurR>(h));
+
+    // h1 = h; h2 = rot64(h, 32) | 1 (odd => full-period stepping).
+    const Reg h2 = B::Or(
+        B::Or(B::template Srli<32>(h), B::template Slli<32>(h)), B::Set1(1));
+
+    Reg pos = h;
+    Mask hit = B::CmpEq(B::Set1(0), B::Set1(0));  // all-true
+    for (int i = 0; i < num_probes; ++i) {
+      const Reg bit = B::And(pos, B::Set1(bit_mask));
+      const Reg word = B::Gather(words, B::template Srli<6>(bit));
+      const Reg tested =
+          B::And(B::SrlVar(word, B::And(bit, B::Set1(63))), B::Set1(1));
+      hit = B::MaskAnd(hit, B::CmpEq(tested, B::Set1(1)));
+      pos = B::Add(pos, h2);
+    }
+    st.result = B::Blend(hit, B::Set1(0), B::Set1(1));
+  }
+
+  template <typename B>
+  HEF_INLINE void Store(std::uint64_t* out, const State<B>& st) const {
+    B::StoreU(out, st.result);
+  }
+
+  // Op mix (one probe round repeated num_probes times); used by the
+  // candidate generator and port model.
+  static std::vector<OpClass> Ops(int num_probes = 7);
+};
+
+// Probes filter membership for keys[0..n) under implementation `cfg`,
+// writing 1 (maybe present) / 0 (definitely absent) into out[0..n).
+void BloomProbeArray(const HybridConfig& cfg, const BloomFilter& filter,
+                     const std::uint64_t* keys, std::uint64_t* out,
+                     std::size_t n);
+
+// All (v, s, p) coordinates precompiled for the Bloom probe kernel.
+const std::vector<HybridConfig>& BloomProbeSupportedConfigs();
+
+}  // namespace hef
+
+#endif  // HEF_TABLE_BLOOM_FILTER_H_

@@ -1,0 +1,67 @@
+#include "table/linear_hash_table.h"
+
+#include "algo/murmur.h"
+
+namespace hef {
+
+namespace {
+
+std::size_t NextPow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+LinearHashTable::LinearHashTable(std::size_t expected_keys,
+                                 double load_factor)
+    : hash_seed_(kMurmurDefaultSeed) {
+  HEF_CHECK_MSG(load_factor > 0 && load_factor <= 0.9,
+                "load factor %.2f out of range", load_factor);
+  const auto wanted = static_cast<std::size_t>(
+      static_cast<double>(expected_keys < 1 ? 1 : expected_keys) /
+      load_factor);
+  capacity_ = NextPow2(wanted < 16 ? 16 : wanted);
+  mask_ = capacity_ - 1;
+  // One extra vector of padding lets 8-lane gathers read index mask_ + 7
+  // during speculative probes without faulting.
+  keys_.Allocate(capacity_, /*padding_elems=*/8);
+  values_.Allocate(capacity_, /*padding_elems=*/8);
+  keys_.Fill(kEmptyKey);
+}
+
+std::uint64_t LinearHashTable::HomeSlot(std::uint64_t key) const {
+  return Murmur64(key, hash_seed_) & mask_;
+}
+
+void LinearHashTable::Insert(std::uint64_t key, std::uint64_t value) {
+  HEF_CHECK_MSG(key != kEmptyKey, "key collides with the empty marker");
+  HEF_CHECK_MSG(size_ < capacity_, "hash table full");
+  std::uint64_t slot = HomeSlot(key);
+  while (keys_[slot] != kEmptyKey) {
+    HEF_CHECK_MSG(keys_[slot] != key, "duplicate key %llu",
+                  static_cast<unsigned long long>(key));
+    slot = (slot + 1) & mask_;
+  }
+  keys_[slot] = key;
+  values_[slot] = value;
+  ++size_;
+}
+
+bool LinearHashTable::Lookup(std::uint64_t key, std::uint64_t* value) const {
+  std::uint64_t slot = HomeSlot(key);
+  while (true) {
+    const std::uint64_t k = keys_[slot];
+    if (k == key) {
+      *value = values_[slot];
+      return true;
+    }
+    if (k == kEmptyKey) {
+      return false;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+}  // namespace hef

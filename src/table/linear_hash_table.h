@@ -1,0 +1,70 @@
+// Linear-probe open-addressing hash table for 64-bit keys and payloads.
+//
+// The paper's SSB joins use "a large linear hash table ... to reduce the
+// conflicts and avoid data access becoming the bottleneck" (§V). This table
+// follows that design: power-of-two capacity sized at a low load factor,
+// parallel key/value arrays (so vector probes gather from flat uint64
+// slabs), MurmurHash64A hashing (the same hash the paper benchmarks), and
+// linear probing on collision.
+//
+// Build is scalar (dimension tables are small); probe is the hot path and
+// comes in scalar / SIMD / hybrid flavours through ProbeKernel +
+// HybridGrid (see probe.h).
+
+#ifndef HEF_TABLE_LINEAR_HASH_TABLE_H_
+#define HEF_TABLE_LINEAR_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/macros.h"
+
+namespace hef {
+
+// Slot marker for an empty bucket. Keys must be < kEmptyKey; SSB dictionary
+// codes and surrogate keys are all small positive integers.
+inline constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+// Probe result marker for "key not present". Payloads must be < kMissValue.
+inline constexpr std::uint64_t kMissValue = ~0ULL;
+
+class LinearHashTable {
+ public:
+  // Sizes the table for `expected_keys` at `load_factor` occupancy (default
+  // 0.25 — the paper's "large" table), rounded up to a power of two with at
+  // least one full vector of slack so vector probes can over-gather.
+  explicit LinearHashTable(std::size_t expected_keys,
+                           double load_factor = 0.25);
+
+  // Inserts a unique key. Duplicate keys abort (dimension primary keys are
+  // unique by construction); key must not equal kEmptyKey.
+  void Insert(std::uint64_t key, std::uint64_t value);
+
+  // Scalar point lookup. Returns true and sets *value on hit.
+  bool Lookup(std::uint64_t key, std::uint64_t* value) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t mask() const { return mask_; }
+  std::uint64_t hash_seed() const { return hash_seed_; }
+
+  // Raw slabs for vector probes. keys()[i] == kEmptyKey marks empty.
+  const std::uint64_t* keys() const { return keys_.data(); }
+  const std::uint64_t* values() const { return values_.data(); }
+
+  // Slot index the probe sequence starts at for `key`.
+  std::uint64_t HomeSlot(std::uint64_t key) const;
+
+ private:
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t hash_seed_;
+  AlignedBuffer<std::uint64_t> keys_;
+  AlignedBuffer<std::uint64_t> values_;
+};
+
+}  // namespace hef
+
+#endif  // HEF_TABLE_LINEAR_HASH_TABLE_H_

@@ -1,0 +1,31 @@
+#include "table/probe.h"
+
+#include "hybrid/hybrid_grid.h"
+
+namespace hef {
+
+namespace {
+
+using ProbeGrid = HybridGrid<ProbeKernel, /*MaxV=*/2, /*MaxS=*/4,
+                             /*MaxP=*/3>;
+
+}  // namespace
+
+void ProbeArray(const HybridConfig& cfg, const LinearHashTable& table,
+                const std::uint64_t* keys, std::uint64_t* out,
+                std::size_t n) {
+  ProbeKernel kernel;
+  kernel.keys = table.keys();
+  kernel.values = table.values();
+  kernel.mask = table.mask();
+  kernel.seed = table.hash_seed();
+  ProbeGrid::Run(cfg, kernel, keys, out, n);
+}
+
+const std::vector<HybridConfig>& ProbeSupportedConfigs() {
+  static const std::vector<HybridConfig>* configs =
+      new std::vector<HybridConfig>(ProbeGrid::Supported());
+  return *configs;
+}
+
+}  // namespace hef

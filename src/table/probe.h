@@ -1,0 +1,139 @@
+// Hash-probe kernels over LinearHashTable in scalar / SIMD / hybrid
+// flavours.
+//
+// The probe is the dominant operator of the paper's SSB pipelines (Q2-Q4
+// are 3-4 way join queries). It is expressed as a HID map kernel —
+// key stream in, payload-or-miss stream out — so the same HybridRunner
+// machinery that packs MurmurHash packs the probe: hash computation on the
+// SIMD and scalar ALUs, first-bucket access as vpgatherqq, rare collision
+// chases on the scalar side.
+
+#ifndef HEF_TABLE_PROBE_H_
+#define HEF_TABLE_PROBE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "algo/murmur.h"
+#include "hid/hid.h"
+#include "hybrid/hybrid_config.h"
+#include "procinfo/instruction_table.h"
+#include "table/linear_hash_table.h"
+
+namespace hef {
+
+// Map kernel: out[i] = table[in[i]] if present else kMissValue.
+struct ProbeKernel {
+  const std::uint64_t* keys = nullptr;
+  const std::uint64_t* values = nullptr;
+  std::uint64_t mask = 0;
+  std::uint64_t seed = kMurmurDefaultSeed;
+
+  template <typename B>
+  struct State {
+    typename B::Reg key;
+    typename B::Reg result;
+  };
+
+  template <typename B>
+  HEF_INLINE void Load(State<B>& st, const std::uint64_t* in) const {
+    st.key = B::LoadU(in);
+  }
+
+  template <typename B>
+  HEF_INLINE void Compute(State<B>& st) const {
+    using Reg = typename B::Reg;
+    using Mask = typename B::Mask;
+
+    // MurmurHash64A of the key — the same op chain as MurmurKernel.
+    const Reg m = B::Set1(kMurmurM);
+    Reg k = B::Mul(st.key, m);
+    k = B::Xor(k, B::template Srli<kMurmurR>(k));
+    k = B::Mul(k, m);
+    Reg h = B::Set1(seed ^ (8ULL * kMurmurM));
+    h = B::Xor(h, k);
+    h = B::Mul(h, m);
+    h = B::Xor(h, B::template Srli<kMurmurR>(h));
+    h = B::Mul(h, m);
+    h = B::Xor(h, B::template Srli<kMurmurR>(h));
+    const Reg slot = B::And(h, B::Set1(mask));
+
+    // First bucket: gather keys and payloads.
+    const Reg slot_keys = B::Gather(keys, slot);
+    const Reg slot_vals = B::Gather(values, slot);
+    const Mask hit = B::CmpEq(slot_keys, st.key);
+    const Mask empty = B::CmpEq(slot_keys, B::Set1(kEmptyKey));
+    st.result = B::Blend(hit, B::Set1(kMissValue), slot_vals);
+
+    // Collision chase: lanes neither hit nor empty continue linearly on
+    // the scalar side. With the paper's low-load-factor table this path is
+    // rare; it exists for correctness.
+    const Mask unresolved = B::MaskAnd(B::MaskNot(hit), B::MaskNot(empty));
+    if (HEF_UNLIKELY(!B::MaskNone(unresolved))) {
+      ChaseCollisions(st, slot, unresolved);
+    }
+  }
+
+  template <typename B>
+  HEF_INLINE void Store(std::uint64_t* out, const State<B>& st) const {
+    B::StoreU(out, st.result);
+  }
+
+  // Op mix for the candidate generator / port model: murmur chain + two
+  // gathers + compare/blend.
+  static std::vector<OpClass> Ops() {
+    std::vector<OpClass> ops = MurmurKernel::Ops();
+    ops.pop_back();  // drop murmur's trailing store; probe continues
+    ops.push_back(OpClass::kAnd);
+    ops.push_back(OpClass::kGather);
+    ops.push_back(OpClass::kGather);
+    ops.push_back(OpClass::kCmpEq);
+    ops.push_back(OpClass::kCmpEq);
+    ops.push_back(OpClass::kBlend);
+    ops.push_back(OpClass::kStore);
+    return ops;
+  }
+
+ private:
+  template <typename B>
+  HEF_NOINLINE void ChaseCollisions(State<B>& st,
+                                    typename B::Reg first_slot,
+                                    typename B::Mask unresolved) const {
+    alignas(64) std::uint64_t res[B::kLanes];
+    B::StoreU(res, st.result);
+    std::uint32_t bits = B::MaskBits(unresolved);
+    while (bits != 0) {
+      const int lane = __builtin_ctz(bits);
+      bits &= bits - 1;
+      const std::uint64_t key = B::Lane(st.key, lane);
+      std::uint64_t slot =
+          (B::Lane(first_slot, lane) + 1) & mask;
+      std::uint64_t out = kMissValue;
+      while (true) {
+        const std::uint64_t k = keys[slot];
+        if (k == key) {
+          out = values[slot];
+          break;
+        }
+        if (k == kEmptyKey) break;
+        slot = (slot + 1) & mask;
+      }
+      res[lane] = out;
+    }
+    st.result = B::LoadU(res);
+  }
+};
+
+// Probes table for keys[0..n) under hybrid implementation `cfg`, writing
+// payload-or-kMissValue into out[0..n).
+void ProbeArray(const HybridConfig& cfg, const LinearHashTable& table,
+                const std::uint64_t* keys, std::uint64_t* out,
+                std::size_t n);
+
+// All (v, s, p) coordinates precompiled for the probe kernel.
+const std::vector<HybridConfig>& ProbeSupportedConfigs();
+
+}  // namespace hef
+
+#endif  // HEF_TABLE_PROBE_H_

@@ -1,0 +1,133 @@
+#include "table/probe_interleaved.h"
+
+#include <immintrin.h>
+
+#include <vector>
+
+#include "algo/murmur.h"
+#include "common/macros.h"
+#include "hid/hid.h"
+
+namespace hef {
+
+namespace {
+
+#if HEF_HAVE_AVX512
+
+using B = Avx512Backend;
+
+struct InFlight {
+  B::Reg keys;
+  B::Reg slots;
+  std::size_t at = 0;  // output offset of this vector
+  bool valid = false;
+};
+
+// Stage 1: hash the keys, compute home slots, prefetch both slabs.
+HEF_INLINE InFlight Issue(const LinearHashTable& table,
+                          const std::uint64_t* keys, std::size_t at) {
+  InFlight f;
+  f.keys = B::LoadU(keys + at);
+  f.at = at;
+  f.valid = true;
+
+  const B::Reg m = B::Set1(kMurmurM);
+  B::Reg k = B::Mul(f.keys, m);
+  k = B::Xor(k, B::Srli<kMurmurR>(k));
+  k = B::Mul(k, m);
+  B::Reg h = B::Set1(table.hash_seed() ^ (8ULL * kMurmurM));
+  h = B::Xor(h, k);
+  h = B::Mul(h, m);
+  h = B::Xor(h, B::Srli<kMurmurR>(h));
+  h = B::Mul(h, m);
+  h = B::Xor(h, B::Srli<kMurmurR>(h));
+  f.slots = B::And(h, B::Set1(table.mask()));
+
+  alignas(64) std::uint64_t slot_arr[B::kLanes];
+  B::StoreU(slot_arr, f.slots);
+  for (int lane = 0; lane < B::kLanes; ++lane) {
+    _mm_prefetch(
+        reinterpret_cast<const char*>(table.keys() + slot_arr[lane]),
+        _MM_HINT_T0);
+    _mm_prefetch(
+        reinterpret_cast<const char*>(table.values() + slot_arr[lane]),
+        _MM_HINT_T0);
+  }
+  return f;
+}
+
+// Stage 2: buckets are (hopefully) cache-resident now — resolve.
+HEF_INLINE void Resolve(const LinearHashTable& table, const InFlight& f,
+                        std::uint64_t* out) {
+  const B::Reg slot_keys = B::Gather(table.keys(), f.slots);
+  const B::Reg slot_vals = B::Gather(table.values(), f.slots);
+  const B::Mask hit = B::CmpEq(slot_keys, f.keys);
+  const B::Mask empty = B::CmpEq(slot_keys, B::Set1(kEmptyKey));
+  B::Reg result = B::Blend(hit, B::Set1(kMissValue), slot_vals);
+  B::StoreU(out + f.at, result);
+
+  const B::Mask unresolved = B::MaskAnd(B::MaskNot(hit), B::MaskNot(empty));
+  if (HEF_UNLIKELY(!B::MaskNone(unresolved))) {
+    std::uint32_t bits = B::MaskBits(unresolved);
+    while (bits != 0) {
+      const int lane = __builtin_ctz(bits);
+      bits &= bits - 1;
+      const std::uint64_t key = B::Lane(f.keys, lane);
+      std::uint64_t slot = (B::Lane(f.slots, lane) + 1) & table.mask();
+      std::uint64_t value = kMissValue;
+      while (true) {
+        const std::uint64_t k = table.keys()[slot];
+        if (k == key) {
+          value = table.values()[slot];
+          break;
+        }
+        if (k == kEmptyKey) break;
+        slot = (slot + 1) & table.mask();
+      }
+      out[f.at + static_cast<std::size_t>(lane)] = value;
+    }
+  }
+}
+
+#endif  // HEF_HAVE_AVX512
+
+void ProbeScalarTail(const LinearHashTable& table, const std::uint64_t* keys,
+                     std::uint64_t* out, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    std::uint64_t value = kMissValue;
+    out[i] = table.Lookup(keys[i], &value) ? value : kMissValue;
+  }
+}
+
+}  // namespace
+
+void ProbeArrayInterleaved(const LinearHashTable& table,
+                           const std::uint64_t* keys, std::uint64_t* out,
+                           std::size_t n, int depth) {
+  HEF_CHECK_MSG(depth >= 1 && depth <= 64, "depth %d out of range", depth);
+#if HEF_HAVE_AVX512
+  std::vector<InFlight> ring(static_cast<std::size_t>(depth));
+  std::size_t head = 0;  // next slot to issue into / resolve from
+  std::size_t i = 0;
+  for (; i + B::kLanes <= n; i += B::kLanes) {
+    InFlight& slot = ring[head];
+    if (slot.valid) {
+      Resolve(table, slot, out);
+    }
+    slot = Issue(table, keys, i);
+    head = (head + 1) % ring.size();
+  }
+  for (std::size_t d = 0; d < ring.size(); ++d) {
+    InFlight& slot = ring[(head + d) % ring.size()];
+    if (slot.valid) {
+      Resolve(table, slot, out);
+      slot.valid = false;
+    }
+  }
+  ProbeScalarTail(table, keys, out, i, n);
+#else
+  ProbeScalarTail(table, keys, out, 0, n);
+#endif
+}
+
+}  // namespace hef

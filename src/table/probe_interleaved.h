@@ -1,0 +1,35 @@
+// IMV-style interleaved vectorized probe (Fang, Zheng & Weng,
+// "Interleaved Multi-Vectorizing", VLDB'20 — related work [11] of the
+// paper, from the same group). Instead of co-issuing SIMD and scalar
+// statements (HEF's approach), IMV hides memory latency by interleaving
+// several instances of the *same* vectorized probe: each instance
+// computes its hash, issues prefetches for its buckets, and is resumed
+// only after younger instances have run — by which time its cache lines
+// have arrived.
+//
+// This implementation keeps a small ring of in-flight probe vectors
+// (hash computed, buckets prefetched) and resolves the oldest instance
+// when the ring is full. It produces output identical to ProbeArray and
+// serves as the fourth probe strategy in the benchmarks: scalar / SIMD /
+// HEF hybrid / IMV interleaved.
+
+#ifndef HEF_TABLE_PROBE_INTERLEAVED_H_
+#define HEF_TABLE_PROBE_INTERLEAVED_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "table/linear_hash_table.h"
+
+namespace hef {
+
+// Probes table for keys[0..n) writing payload-or-kMissValue to out[0..n).
+// `depth` is the number of probe vectors kept in flight (IMV's group
+// count); 1 degenerates to a plain vectorized probe.
+void ProbeArrayInterleaved(const LinearHashTable& table,
+                           const std::uint64_t* keys, std::uint64_t* out,
+                           std::size_t n, int depth = 4);
+
+}  // namespace hef
+
+#endif  // HEF_TABLE_PROBE_INTERLEAVED_H_

@@ -1,0 +1,50 @@
+// Hash radix partitioning — the building block of the partitioned hash
+// joins in the paper's related work (Balkesen et al. [2], Kim et al.
+// [20]). Rows are split into 2^bits partitions by the low bits of their
+// key hash so each partition's build side fits in cache.
+//
+// The operator composes HEF primitives: the partition-id computation is
+// the hybrid Murmur kernel (any (v, s, p) coordinate), the histogram pass
+// reuses the conflict-detected vector accumulate, and the scatter pass is
+// scalar (its per-partition cursors are serial by nature).
+
+#ifndef HEF_TABLE_RADIX_PARTITION_H_
+#define HEF_TABLE_RADIX_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hybrid/hybrid_config.h"
+
+namespace hef {
+
+struct RadixPartitions {
+  int bits = 0;
+  // partition p occupies out indices [offsets[p], offsets[p + 1]).
+  std::vector<std::size_t> offsets;  // size 2^bits + 1
+
+  std::size_t NumPartitions() const { return offsets.size() - 1; }
+  std::size_t PartitionSize(std::size_t p) const {
+    return offsets[p + 1] - offsets[p];
+  }
+};
+
+// Partitions keys[0..n) (and optionally values[0..n)) into out_keys /
+// out_values by hash radix. `hash_cfg` is the hybrid coordinate of the
+// partition-id kernel; `scratch` must hold n elements (stores the
+// per-row partition ids between passes). Row order within a partition is
+// stable (input order).
+RadixPartitions RadixPartition(const HybridConfig& hash_cfg,
+                               const std::uint64_t* keys,
+                               const std::uint64_t* values, std::size_t n,
+                               int bits, std::uint64_t* scratch,
+                               std::uint64_t* out_keys,
+                               std::uint64_t* out_values);
+
+// Partition id of one key under the same hash (for tests / consumers).
+std::uint64_t RadixPartitionOf(std::uint64_t key, int bits);
+
+}  // namespace hef
+
+#endif  // HEF_TABLE_RADIX_PARTITION_H_

@@ -1,0 +1,51 @@
+#include "tuner/candidate_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace hef {
+
+HybridConfig GenerateInitialCandidate(const ProcessorModel& model,
+                                      const OperatorTraits& traits) {
+  HEF_CHECK_MSG(!traits.ops.empty(), "operator template has no ops");
+
+  // Stage 1: statement counts from pipeline counts. Shared pipes count as
+  // SIMD-exclusive.
+  int v = std::max(0, model.simd_pipes);
+  int s = model.ExclusiveScalarPipes();
+  if (v + s == 0) {
+    s = 1;  // degenerate model: fall back to one scalar statement
+  }
+
+  // Stage 2: pack size. Dominant instruction = max latency/throughput in
+  // the template at the vector ISA.
+  const InstructionTable& table = InstructionTable::Get();
+  const InstructionInfo& dominant =
+      table.MaxLatencyOverThroughput(traits.ops, traits.vector_isa);
+
+  // argc of the SIMD instruction with the most register parameters in the
+  // template.
+  int argc = 1;
+  for (OpClass op : traits.ops) {
+    argc = std::max(argc, table.Lookup(op, traits.vector_isa).argc);
+  }
+
+  const double register_budget =
+      static_cast<double>(std::min(model.scalar_registers,
+                                   model.vector_registers));
+  const double by_throughput = register_budget / dominant.throughput;
+  const double register_pressure =
+      static_cast<double>(std::max(s * 3, v * argc));
+  const double by_registers =
+      register_pressure > 0 ? register_budget / register_pressure
+                            : by_throughput;
+
+  int p = static_cast<int>(std::floor(std::min(by_throughput, by_registers)));
+  p = std::max(1, p);
+
+  return HybridConfig{v, s, p};
+}
+
+}  // namespace hef

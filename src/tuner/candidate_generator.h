@@ -1,0 +1,46 @@
+// CandidateGenerator — the two-stage model seeding the (v, s, p) search
+// (paper §IV-A).
+//
+// Stage 1 uses only the processor's pipeline counts: pipelines shared
+// between SIMD and scalar are treated as SIMD-exclusive ("SIMD is more
+// efficient than scalar in most cases under the data analytics workload"),
+// so v = simd_pipes and s = scalar pipes not shared with the SIMD unit.
+//
+// Stage 2 sets the pack size from the instruction tables: find the
+// instruction with the maximum latency/throughput ratio in the operator
+// template, take the argument count `argc` of the SIMD instruction with
+// the most parameters, and compute
+//
+//     p = min( 32 / throughput, 32 / max(s * 3, v * argc) )
+//
+// — the register-budget heuristic (Skylake has 32 architectural vector
+// registers and roughly as many renamable scalar names; most scalar
+// instructions touch three registers).
+
+#ifndef HEF_TUNER_CANDIDATE_GENERATOR_H_
+#define HEF_TUNER_CANDIDATE_GENERATOR_H_
+
+#include <vector>
+
+#include "hybrid/hybrid_config.h"
+#include "procinfo/cpu_features.h"
+#include "procinfo/instruction_table.h"
+#include "procinfo/processor_model.h"
+
+namespace hef {
+
+struct OperatorTraits {
+  // Op mix of the operator template (one statement instance's body).
+  std::vector<OpClass> ops;
+  // Vector ISA the SIMD statements lower to.
+  Isa vector_isa = Isa::kAvx512;
+};
+
+// Returns the initial candidate node. Never returns an invalid config:
+// v + s >= 1 and p >= 1 always hold.
+HybridConfig GenerateInitialCandidate(const ProcessorModel& model,
+                                      const OperatorTraits& traits);
+
+}  // namespace hef
+
+#endif  // HEF_TUNER_CANDIDATE_GENERATOR_H_

@@ -1,0 +1,234 @@
+#include "tuner/kernel_tuners.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "algo/crc64.h"
+#include "algo/murmur.h"
+#include "algo/reduce.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/primitives.h"
+#include "table/bloom_filter.h"
+#include "table/linear_hash_table.h"
+#include "table/probe.h"
+#include "tuner/candidate_generator.h"
+
+namespace hef {
+
+namespace {
+
+// Min-of-repetitions wall-clock measurement of a runnable.
+template <typename Fn>
+double MeasureSeconds(const Fn& fn, int repetitions) {
+  fn();  // warm-up: page in buffers, prime caches and branch predictors
+  double best = std::numeric_limits<double>::max();
+  for (int r = 0; r < repetitions; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+SupportedFn InGrid(const std::vector<HybridConfig>& configs) {
+  return [&configs](const HybridConfig& cfg) {
+    return std::find(configs.begin(), configs.end(), cfg) != configs.end();
+  };
+}
+
+// Clamps the candidate generator's seed into the compiled grid so the
+// search always has a valid starting node.
+HybridConfig ClampToGrid(HybridConfig cfg,
+                         const std::vector<HybridConfig>& configs) {
+  int max_v = 0, max_s = 0, max_p = 1;
+  for (const HybridConfig& c : configs) {
+    max_v = std::max(max_v, c.v);
+    max_s = std::max(max_s, c.s);
+    max_p = std::max(max_p, c.p);
+  }
+  cfg.v = std::min(cfg.v, max_v);
+  cfg.s = std::min(cfg.s, max_s);
+  cfg.p = std::min(cfg.p, max_p);
+  if (cfg.v + cfg.s == 0) cfg.s = std::min(1, max_s);
+  return cfg;
+}
+
+}  // namespace
+
+TuneResult TuneMurmur(const KernelTuneOptions& options) {
+  AlignedBuffer<std::uint64_t> in(options.elements, 256);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+  Rng rng(11);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.Next();
+
+  const auto& grid = MurmurSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(options.model,
+                               {MurmurKernel::Ops(),
+                                CpuFeatures::Get().BestIsa()}),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] { MurmurHashArray(cfg, in.data(), out.data(), in.size()); },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneCrc64(const KernelTuneOptions& options) {
+  AlignedBuffer<std::uint64_t> in(options.elements, 256);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+  Rng rng(13);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.Next();
+
+  const auto& grid = Crc64SupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model, {Crc64Kernel::Ops(), CpuFeatures::Get().BestIsa()}),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] { Crc64Array(cfg, in.data(), out.data(), in.size()); },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneProbe(const KernelTuneOptions& options) {
+  // Table sized by the caller (SSB harnesses pass their dimension-table
+  // cardinality); key stream mixed to the requested hit rate.
+  const std::size_t table_keys =
+      options.probe_table_keys == 0 ? 1 : options.probe_table_keys;
+  LinearHashTable table(table_keys);
+  for (std::uint64_t k = 0; k < table_keys; ++k) {
+    table.Insert(k * 2 + 1, k);
+  }
+  AlignedBuffer<std::uint64_t> keys(options.elements, 256);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+  Rng rng(17);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (rng.Bernoulli(options.probe_hit_rate)) {
+      keys[i] = rng.Uniform(0, table_keys - 1) * 2 + 1;  // hit
+    } else {
+      keys[i] = rng.Uniform(0, table_keys - 1) * 2;  // miss
+    }
+  }
+
+  const auto& grid = ProbeSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model, {ProbeKernel::Ops(), CpuFeatures::Get().BestIsa()}),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] {
+              ProbeArray(cfg, table, keys.data(), out.data(), keys.size());
+            },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneGather(const KernelTuneOptions& options) {
+  AlignedBuffer<std::uint64_t> base(options.elements, 256);
+  AlignedBuffer<std::uint64_t> idx(options.elements, 256);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+  Rng rng(19);
+  for (std::size_t i = 0; i < base.size(); ++i) base[i] = rng.Next();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = rng.Uniform(0, options.elements - 1);
+  }
+
+  const auto& grid = GatherSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model, {GatherKernelOps(), CpuFeatures::Get().BestIsa()}),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] {
+              GatherArray(cfg, base.data(), idx.data(), out.data(),
+                          idx.size());
+            },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneBloomProbe(const KernelTuneOptions& options) {
+  BloomFilter filter(options.probe_table_keys == 0
+                         ? 1
+                         : options.probe_table_keys);
+  Rng rng(23);
+  for (std::size_t k = 0; k < options.probe_table_keys; ++k) {
+    filter.Insert(rng.Uniform(0, options.probe_table_keys * 4));
+  }
+  AlignedBuffer<std::uint64_t> keys(options.elements, 256);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.Uniform(0, options.probe_table_keys * 4);
+  }
+
+  const auto& grid = BloomProbeSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model,
+          {BloomProbeKernel::Ops(filter.num_probes()),
+           CpuFeatures::Get().BestIsa()}),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] {
+              BloomProbeArray(cfg, filter, keys.data(), out.data(),
+                              keys.size());
+            },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneSumReduce(const KernelTuneOptions& options) {
+  AlignedBuffer<std::uint64_t> in(options.elements, 256);
+  Rng rng(29);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.Next();
+
+  const auto& grid = ReduceSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model, {SumKernel::Ops(), CpuFeatures::Get().BestIsa()}),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] { DoNotOptimize(SumArray(cfg, in.data(), in.size())); },
+            options.repetitions);
+      },
+      tune);
+}
+
+}  // namespace hef

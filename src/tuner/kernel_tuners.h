@@ -1,0 +1,44 @@
+// End-to-end tuners for the built-in kernels: wire the candidate generator,
+// the wall-clock measurement harness, and the pruning optimizer together
+// (the full offline phase of Fig. 4 for one operator).
+
+#ifndef HEF_TUNER_KERNEL_TUNERS_H_
+#define HEF_TUNER_KERNEL_TUNERS_H_
+
+#include <cstddef>
+
+#include "procinfo/processor_model.h"
+#include "tuner/optimizer.h"
+
+namespace hef {
+
+struct KernelTuneOptions {
+  // Elements per measurement run; sized to be compute-bound (L2-resident)
+  // by default, as the paper's operators are.
+  std::size_t elements = 1 << 15;
+  // Repetitions per measurement; the minimum over repetitions is used
+  // (robust against scheduling noise).
+  int repetitions = 9;
+  // Processor model feeding the candidate generator.
+  ProcessorModel model = ProcessorModel::Host();
+  // Keys in the hash table the probe tuner builds. The tuning workload
+  // must resemble the deployment workload (the paper tunes against
+  // "predefined test queries"); SSB harnesses size this like their
+  // dimension tables so the tuned point carries over.
+  std::size_t probe_table_keys = 1 << 13;
+  // Fraction of probe keys that hit the table.
+  double probe_hit_rate = 0.5;
+};
+
+// Each returns the pruning-search result for the respective kernel; the
+// initial node comes from GenerateInitialCandidate on the kernel's op mix.
+TuneResult TuneMurmur(const KernelTuneOptions& options = {});
+TuneResult TuneCrc64(const KernelTuneOptions& options = {});
+TuneResult TuneProbe(const KernelTuneOptions& options = {});
+TuneResult TuneGather(const KernelTuneOptions& options = {});
+TuneResult TuneBloomProbe(const KernelTuneOptions& options = {});
+TuneResult TuneSumReduce(const KernelTuneOptions& options = {});
+
+}  // namespace hef
+
+#endif  // HEF_TUNER_KERNEL_TUNERS_H_

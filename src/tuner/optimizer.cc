@@ -1,0 +1,99 @@
+#include "tuner/optimizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace hef {
+
+namespace {
+
+std::vector<HybridConfig> Neighbors(const HybridConfig& node) {
+  return {
+      HybridConfig{node.v + 1, node.s, node.p},
+      HybridConfig{node.v - 1, node.s, node.p},
+      HybridConfig{node.v, node.s + 1, node.p},
+      HybridConfig{node.v, node.s - 1, node.p},
+      HybridConfig{node.v, node.s, node.p + 1},
+      HybridConfig{node.v, node.s, node.p - 1},
+  };
+}
+
+}  // namespace
+
+TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
+                const TuneOptions& options) {
+  HEF_CHECK_MSG(options.is_supported != nullptr, "missing support filter");
+  HEF_CHECK_MSG(initial.valid() && options.is_supported(initial),
+                "initial candidate %s unsupported",
+                initial.ToString().c_str());
+
+  TuneResult result;
+  std::map<HybridConfig, double> tested;
+
+  auto run = [&](const HybridConfig& cfg) {
+    const double t = measure(cfg);
+    tested[cfg] = t;
+    ++result.nodes_tested;
+    result.history.emplace_back(cfg, t);
+    return t;
+  };
+
+  HybridConfig current = initial;
+  double current_time = run(current);
+  result.best = current;
+  result.best_time = current_time;
+
+  // Candidate list: winners waiting to be expanded (Algorithm 2's
+  // candidate_list). Losers are simply never expanded (end_list).
+  std::vector<std::pair<HybridConfig, double>> candidates;
+
+  while (result.nodes_tested < options.max_measurements) {
+    for (const HybridConfig& next : Neighbors(current)) {
+      if (!next.valid() || !options.is_supported(next)) continue;
+      if (tested.count(next) != 0) continue;
+      const double t = run(next);
+      if (t < current_time) {
+        candidates.emplace_back(next, t);  // winner
+      }
+      // else: loser -> end list; its variants are pruned.
+    }
+    if (candidates.empty()) break;
+
+    // Move to the fastest pending winner.
+    auto best_it = std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    current = best_it->first;
+    current_time = best_it->second;
+    candidates.erase(best_it);
+
+    if (current_time < result.best_time) {
+      result.best = current;
+      result.best_time = current_time;
+    }
+  }
+  return result;
+}
+
+TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
+                          const MeasureFn& measure) {
+  HEF_CHECK_MSG(!space.empty(), "empty search space");
+  TuneResult result;
+  bool first = true;
+  for (const HybridConfig& cfg : space) {
+    if (!cfg.valid()) continue;
+    const double t = measure(cfg);
+    ++result.nodes_tested;
+    result.history.emplace_back(cfg, t);
+    if (first || t < result.best_time) {
+      result.best = cfg;
+      result.best_time = t;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace hef

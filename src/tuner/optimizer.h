@@ -1,0 +1,65 @@
+// Optimizer — the test-based pruning search over (v, s, p) implementations
+// (paper §IV-C, Algorithm 2).
+//
+// From the current node the optimizer generates the six single-step
+// variants {v±1, s±1, p±1}, measures the untested ones, and classifies
+// each as *winner* (faster than the current node; appended to the
+// candidate list) or *loser* (appended to the end list — its own variants
+// are never generated, the pruning step). The search then moves to the
+// fastest candidate and repeats until the candidate list is exhausted.
+// The pruning rationale: runtime is monotone on both sides of the optimum
+// along each axis (adding statements first fills idle pipelines, then
+// overruns the register budget), so a slower neighbour's subtree cannot
+// contain the optimum via that edge — while the neighbourhood graph stays
+// strongly connected, so the optimum remains reachable around pruned
+// nodes (the paper's n_132 -> n_113 example).
+
+#ifndef HEF_TUNER_OPTIMIZER_H_
+#define HEF_TUNER_OPTIMIZER_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "hybrid/hybrid_config.h"
+
+namespace hef {
+
+// Measures one implementation; returns its runtime in seconds (the
+// optimizer only compares values, any monotone unit works).
+using MeasureFn = std::function<double(const HybridConfig&)>;
+
+// Filters the space to implementations that exist (e.g. inside a compiled
+// HybridGrid). Nodes failing the filter are silently skipped.
+using SupportedFn = std::function<bool(const HybridConfig&)>;
+
+struct TuneOptions {
+  SupportedFn is_supported;  // required
+  // Safety valve on total measurements (the space is finite anyway).
+  int max_measurements = 1000;
+};
+
+struct TuneResult {
+  HybridConfig best{1, 0, 1};
+  double best_time = 0;
+  // Nodes actually generated + measured — the cost the pruning saves.
+  int nodes_tested = 0;
+  // Measurement log in test order (config, seconds).
+  std::vector<std::pair<HybridConfig, double>> history;
+};
+
+// Runs the pruning search from `initial` (typically the candidate
+// generator's output). `initial` itself is measured first.
+TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
+                const TuneOptions& options);
+
+// Measures every node in `space` (the brute-force baseline of §II-C whose
+// O(v*s*p) cost the pruning search avoids). Used by tests and the
+// tuner_search bench to validate that pruning finds the same optimum at a
+// fraction of the measurements.
+TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
+                          const MeasureFn& measure);
+
+}  // namespace hef
+
+#endif  // HEF_TUNER_OPTIMIZER_H_

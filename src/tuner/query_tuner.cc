@@ -1,0 +1,63 @@
+#include "tuner/query_tuner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "engine/engine.h"
+#include "table/probe.h"
+
+namespace hef {
+
+QueryTuneResult TuneQueriesProbe(const ssb::SsbDatabase& db,
+                                 const std::vector<QueryId>& queries,
+                                 const QueryTuneOptions& options) {
+  HEF_CHECK_MSG(!queries.empty(), "no test queries given");
+  const auto& grid = ProbeSupportedConfigs();
+  auto supported = [&grid](const HybridConfig& cfg) {
+    return std::find(grid.begin(), grid.end(), cfg) != grid.end();
+  };
+
+  HybridConfig initial = options.initial_probe;
+  if (!supported(initial)) {
+    initial = HybridConfig{1, 1, 1};
+  }
+
+  auto measure = [&](const HybridConfig& cfg) {
+    EngineConfig config;
+    config.flavor = Flavor::kHybrid;
+    config.probe_cfg = cfg;
+    config.gather_cfg = options.gather;
+    config.block_size = options.block_size;
+    SsbEngine engine(db, config);
+    double total = 0;
+    for (const QueryId id : queries) {
+      engine.Run(id);  // warm-up (pages, caches, branch predictors)
+      double best = std::numeric_limits<double>::max();
+      for (int r = 0; r < options.repetitions; ++r) {
+        Stopwatch sw;
+        engine.Run(id);
+        best = std::min(best, sw.ElapsedSeconds());
+      }
+      total += best;
+    }
+    return total;
+  };
+
+  TuneOptions tune;
+  tune.is_supported = supported;
+  const TuneResult r = Tune(initial, measure, tune);
+
+  QueryTuneResult out;
+  out.probe = r.best;
+  out.best_seconds = r.best_time;
+  out.nodes_tested = r.nodes_tested;
+  return out;
+}
+
+QueryTuneResult TuneQueryProbe(const ssb::SsbDatabase& db, QueryId id,
+                               const QueryTuneOptions& options) {
+  return TuneQueriesProbe(db, {id}, options);
+}
+
+}  // namespace hef

@@ -1,0 +1,56 @@
+// QueryTuner — dynamic per-query operator selection.
+//
+// The paper assembles queries from operators tuned on standalone test
+// workloads and names per-query dynamic selection as future work (§VII:
+// "enable HEF to ... dynamically select operators with different
+// implementations according to queries"). This module implements that
+// extension: the pruning search runs with the *whole query* as the
+// measurement function, so the chosen (v, s, p) reflects the query's real
+// selectivities and cache footprint rather than a proxy workload.
+
+#ifndef HEF_TUNER_QUERY_TUNER_H_
+#define HEF_TUNER_QUERY_TUNER_H_
+
+#include <vector>
+
+#include "engine/flavor.h"
+#include "engine/query_id.h"
+#include "ssb/database.h"
+#include "tuner/optimizer.h"
+
+namespace hef {
+
+struct QueryTuneOptions {
+  // Initial probe candidate (e.g. the globally tuned point or the
+  // candidate generator's seed).
+  HybridConfig initial_probe{1, 1, 1};
+  // Gather coordinate held fixed while the probe is searched (probes
+  // dominate SSB pipelines; a joint search would square the space).
+  HybridConfig gather{1, 0, 1};
+  // Wall-clock repetitions per candidate; min is used.
+  int repetitions = 3;
+  int block_size = 4096;
+};
+
+struct QueryTuneResult {
+  HybridConfig probe{1, 0, 1};
+  double best_seconds = 0;
+  int nodes_tested = 0;
+};
+
+// Finds the per-query probe optimum by running `id` end to end under each
+// candidate coordinate.
+QueryTuneResult TuneQueryProbe(const ssb::SsbDatabase& db, QueryId id,
+                               const QueryTuneOptions& options = {});
+
+// Tunes one probe coordinate against a set of predefined test queries
+// (the paper's §III-A workflow: "the optimizer compiles predefined test
+// queries"); the cost of a candidate is the sum of the queries'
+// best-of-repetitions times.
+QueryTuneResult TuneQueriesProbe(const ssb::SsbDatabase& db,
+                                 const std::vector<QueryId>& queries,
+                                 const QueryTuneOptions& options = {});
+
+}  // namespace hef
+
+#endif  // HEF_TUNER_QUERY_TUNER_H_

@@ -1,0 +1,100 @@
+#include "tuner/tuning_cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "procinfo/cpu_features.h"
+
+namespace hef {
+
+TuningCache::TuningCache(std::string path) : path_(std::move(path)) {}
+
+std::string TuningCache::HostTag() {
+  const std::string& brand = CpuFeatures::Get().brand;
+  return brand.empty() ? "unknown-host" : brand;
+}
+
+Status TuningCache::Load() {
+  entries_.clear();
+  host_mismatch_ = false;
+  std::ifstream file(path_);
+  if (!file) {
+    return Status::OK();  // no cache yet
+  }
+  std::string line;
+  if (!std::getline(file, line) || line != "hef-tuning-cache v1") {
+    return Status::IoError("not a tuning cache: " + path_);
+  }
+  if (!std::getline(file, line) || line.rfind("host ", 0) != 0) {
+    return Status::IoError("tuning cache missing host line: " + path_);
+  }
+  if (line.substr(5) != HostTag()) {
+    host_mismatch_ = true;
+    return Status::OK();  // tuned elsewhere: start fresh
+  }
+  int line_no = 2;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream in(line);
+    std::string keyword, op, cfg_text;
+    double seconds = 0;
+    if (!(in >> keyword >> op >> cfg_text >> seconds) || keyword != "op") {
+      return Status::IoError("malformed tuning cache line " +
+                             std::to_string(line_no) + " in " + path_);
+    }
+    auto cfg = HybridConfig::Parse(cfg_text);
+    if (!cfg.ok()) {
+      return Status::IoError("bad config on line " +
+                             std::to_string(line_no) + ": " +
+                             cfg.status().message());
+    }
+    entries_[op] = Entry{cfg.value(), seconds};
+  }
+  return Status::OK();
+}
+
+Status TuningCache::Save() const {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream file(tmp);
+    if (!file) {
+      return Status::IoError("cannot write " + tmp);
+    }
+    file << "hef-tuning-cache v1\n";
+    file << "host " << HostTag() << "\n";
+    for (const auto& [op, entry] : entries_) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "op %s %s %.9f\n", op.c_str(),
+                    entry.config.ToString().c_str(), entry.seconds);
+      file << buf;
+    }
+    if (!file.good()) {
+      return Status::IoError("write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("rename to " + path_ + " failed");
+  }
+  return Status::OK();
+}
+
+bool TuningCache::Contains(const std::string& op) const {
+  return entries_.count(op) != 0;
+}
+
+Result<TuningCache::Entry> TuningCache::Get(const std::string& op) const {
+  auto it = entries_.find(op);
+  if (it == entries_.end()) {
+    return Status::NotFound("operator '" + op + "' not in tuning cache");
+  }
+  return it->second;
+}
+
+void TuningCache::Put(const std::string& op, const HybridConfig& config,
+                      double seconds) {
+  entries_[op] = Entry{config, seconds};
+}
+
+}  // namespace hef

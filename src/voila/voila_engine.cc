@@ -1,0 +1,216 @@
+#include "voila/voila_engine.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/murmur.h"
+#include "common/macros.h"
+#include "engine/star_plan.h"
+#include "table/linear_hash_table.h"
+
+namespace hef {
+
+struct VoilaEngine::Impl {
+  const ssb::SsbDatabase& db;
+  VoilaConfig config;
+
+  // Interpreter vectors (Voila materializes one output vector per
+  // primitive; these are its registers).
+  std::vector<std::uint32_t> sel;        // selection vector
+  std::vector<std::uint32_t> sel_next;   // output selection vector
+  std::vector<std::uint64_t> key_vec;    // materialized key column
+  std::vector<std::uint64_t> hash_vec;   // materialized hash values
+  std::vector<std::uint64_t> slot_vec;   // materialized home slots
+  std::vector<std::uint64_t> val_vec;    // materialized measure / filter col
+  std::vector<std::uint64_t> val2_vec;   // second measure column
+  std::array<std::vector<std::uint64_t>, 4> payload_vec;
+
+  Impl(const ssb::SsbDatabase& database, VoilaConfig cfg)
+      : db(database), config(cfg) {
+    HEF_CHECK_MSG(config.vector_size >= 16, "vector size too small");
+    HEF_CHECK_MSG(config.prefetch_group >= 1, "prefetch group too small");
+    const auto n = static_cast<std::size_t>(config.vector_size);
+    sel.resize(n);
+    sel_next.resize(n);
+    key_vec.resize(n);
+    hash_vec.resize(n);
+    slot_vec.resize(n);
+    val_vec.resize(n);
+    val2_vec.resize(n);
+    for (auto& p : payload_vec) p.resize(n);
+  }
+
+  // Primitive: materialize col[base + sel[j]] into out[sel[j]].
+  void GatherColumn(const ssb::Column& col, std::size_t base, std::size_t n,
+                    std::vector<std::uint64_t>& out) const {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t i = sel[j];
+      out[i] = col[base + i];
+    }
+  }
+
+  // Primitive: sel_next = positions with lo <= val <= hi.
+  std::size_t SelectRange(std::size_t n, std::uint64_t lo, std::uint64_t hi) {
+    std::size_t m = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t i = sel[j];
+      sel_next[m] = i;
+      m += (val_vec[i] >= lo) & (val_vec[i] <= hi);
+    }
+    std::swap(sel, sel_next);
+    return m;
+  }
+
+  // Primitive: hash_vec = murmur(key_vec), slot_vec = hash & mask.
+  void ComputeSlots(const LinearHashTable& table, std::size_t n) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t i = sel[j];
+      hash_vec[i] = Murmur64(key_vec[i], table.hash_seed());
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t i = sel[j];
+      slot_vec[i] = hash_vec[i] & table.mask();
+    }
+  }
+
+  // Primitive: probe with group prefetching; writes payloads and shrinks
+  // the selection to hits.
+  std::size_t ProbeFsm(const LinearHashTable& table, std::size_t n,
+                       std::vector<std::uint64_t>& payload_out) {
+    const std::uint64_t* keys = table.keys();
+    const std::uint64_t* values = table.values();
+    const std::uint64_t mask = table.mask();
+    const auto group = static_cast<std::size_t>(config.prefetch_group);
+
+    std::size_t m = 0;
+    for (std::size_t g0 = 0; g0 < n; g0 += group) {
+      const std::size_t gn = std::min(group, n - g0);
+      if (config.prefetch) {
+        // FSM stage 1: issue all slot prefetches for the group before any
+        // dereference (concurrent_fsms = 1 -> one group in flight).
+        for (std::size_t j = 0; j < gn; ++j) {
+          const std::uint64_t slot = slot_vec[sel[g0 + j]];
+          _mm_prefetch(reinterpret_cast<const char*>(keys + slot),
+                       _MM_HINT_T0);
+          _mm_prefetch(reinterpret_cast<const char*>(values + slot),
+                       _MM_HINT_T0);
+        }
+      }
+      // FSM stage 2: resolve the group.
+      for (std::size_t j = 0; j < gn; ++j) {
+        const std::uint32_t i = sel[g0 + j];
+        const std::uint64_t key = key_vec[i];
+        std::uint64_t slot = slot_vec[i];
+        while (true) {
+          const std::uint64_t k = keys[slot];
+          if (k == key) {
+            payload_out[i] = values[slot];
+            sel_next[m++] = i;
+            break;
+          }
+          if (k == kEmptyKey) break;
+          slot = (slot + 1) & mask;
+        }
+      }
+    }
+    std::swap(sel, sel_next);
+    return m;
+  }
+
+  QueryResult ExecutePlan(const StarPlan& plan) {
+    const auto vec = static_cast<std::size_t>(config.vector_size);
+    const std::size_t total = db.lineorder.n;
+
+    std::vector<std::uint64_t> agg(plan.gid_domain, 0);
+    std::vector<std::uint64_t> cnt(plan.gid_domain, 0);
+    std::uint64_t qualifying = 0;
+
+    for (std::size_t b0 = 0; b0 < total; b0 += vec) {
+      const std::size_t bn = std::min(vec, total - b0);
+      std::size_t n = bn;
+      for (std::size_t j = 0; j < n; ++j) {
+        sel[j] = static_cast<std::uint32_t>(j);
+      }
+      int live_payloads = 0;
+      std::array<int, 4> probed_slots{};
+
+      for (const RangeFilter& f : plan.filters) {
+        if (n == 0) break;
+        GatherColumn(*f.col, b0, n, val_vec);
+        n = SelectRange(n, f.lo, f.hi);
+      }
+
+      for (const JoinStage& j : plan.joins) {
+        if (n == 0) break;
+        HEF_DCHECK(j.payload_slot >= 0 && j.payload_slot < 4);
+        GatherColumn(*j.fact_key, b0, n, key_vec);
+        ComputeSlots(*j.table, n);
+        // Payloads land in the schema-order slot the gid mapping expects,
+        // independent of probe order.
+        n = ProbeFsm(*j.table, n, payload_vec[j.payload_slot]);
+        probed_slots[live_payloads++] = j.payload_slot;
+      }
+      if (n == 0) continue;
+      qualifying += n;
+
+      GatherColumn(*plan.value_a, b0, n, val_vec);
+      if (plan.value_b != nullptr) {
+        GatherColumn(*plan.value_b, b0, n, val2_vec);
+        // Materialize the combined measure (a separate primitive in the
+        // interpreted engine).
+        if (plan.value_op == ValueOp::kSumProduct) {
+          for (std::size_t j = 0; j < n; ++j) {
+            const std::uint32_t i = sel[j];
+            val_vec[i] *= val2_vec[i];
+          }
+        } else if (plan.value_op == ValueOp::kSumDiff) {
+          for (std::size_t j = 0; j < n; ++j) {
+            const std::uint32_t i = sel[j];
+            val_vec[i] -= val2_vec[i];
+          }
+        }
+      }
+
+      std::array<std::uint64_t, 4> p{};
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::uint32_t i = sel[j];
+        for (int k = 0; k < live_payloads; ++k) {
+          const int slot = probed_slots[k];
+          p[slot] = payload_vec[slot][i];
+        }
+        const std::uint64_t g = plan.gid(p);
+        HEF_DCHECK(g < plan.gid_domain);
+        agg[g] += val_vec[i];
+        cnt[g] += 1;
+      }
+    }
+
+    QueryResult result;
+    result.qualifying_rows = qualifying;
+    for (std::size_t g = 0; g < plan.gid_domain; ++g) {
+      if (cnt[g] == 0) continue;
+      GroupRow row;
+      row.keys = plan.decode(g);
+      row.value = agg[g];
+      result.rows.push_back(row);
+    }
+    std::sort(result.rows.begin(), result.rows.end());
+    return result;
+  }
+};
+
+VoilaEngine::VoilaEngine(const ssb::SsbDatabase& db, VoilaConfig config)
+    : impl_(std::make_unique<Impl>(db, config)) {}
+
+VoilaEngine::~VoilaEngine() = default;
+
+const VoilaConfig& VoilaEngine::config() const { return impl_->config; }
+
+QueryResult VoilaEngine::Run(QueryId id) {
+  const BoundPlan bound = BuildQueryPlan(impl_->db, id);
+  return impl_->ExecutePlan(bound.plan);
+}
+
+}  // namespace hef

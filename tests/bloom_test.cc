@@ -1,0 +1,137 @@
+// Tests for the Bloom filter and its hybrid probe kernels: no false
+// negatives ever, bounded false-positive rate, and every (v, s, p)
+// implementation agreeing bit-for-bit with the scalar reference.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "table/bloom_filter.h"
+
+namespace hef {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(10000);
+  Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back(rng.Next());
+    filter.Insert(keys.back());
+  }
+  for (const std::uint64_t key : keys) {
+    ASSERT_TRUE(filter.MayContain(key));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsBounded) {
+  BloomFilter filter(10000, 10);
+  Rng rng(2);
+  std::set<std::uint64_t> inserted;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t key = rng.Next();
+    inserted.insert(key);
+    filter.Insert(key);
+  }
+  int false_positives = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::uint64_t key = rng.Next();
+    if (inserted.count(key) == 0 && filter.MayContain(key)) {
+      ++false_positives;
+    }
+  }
+  // 10 bits/key with k = 7 gives ~0.8% theoretical; allow generous slack.
+  EXPECT_LT(static_cast<double>(false_positives) / kTrials, 0.03);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter filter(1000);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(filter.MayContain(rng.Next()));
+  }
+}
+
+TEST(BloomFilterTest, SizingAndProbeCount) {
+  BloomFilter filter(1 << 16, 10);
+  EXPECT_EQ(filter.bit_count() & (filter.bit_count() - 1), 0u);
+  EXPECT_GE(filter.bit_count(), (1u << 16) * 10u);
+  EXPECT_EQ(filter.num_probes(), 7);  // round(10 * ln 2)
+  BloomFilter tiny(10, 2);
+  EXPECT_EQ(tiny.num_probes(), 1);
+}
+
+class BloomProbeConfigTest : public ::testing::TestWithParam<HybridConfig> {
+ protected:
+  static void SetUpTestSuite() {
+    filter_ = new BloomFilter(4096);
+    Rng rng(7);
+    for (int i = 0; i < 4096; ++i) {
+      filter_->Insert(rng.Uniform(0, 1 << 20));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete filter_;
+    filter_ = nullptr;
+  }
+  static BloomFilter* filter_;
+};
+
+BloomFilter* BloomProbeConfigTest::filter_ = nullptr;
+
+TEST_P(BloomProbeConfigTest, MatchesScalarReference) {
+  const HybridConfig cfg = GetParam();
+  Rng rng(9);
+  const std::size_t n = 2053;
+  AlignedBuffer<std::uint64_t> keys(n, 256), out(n, 256);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = rng.Uniform(0, 1 << 20);
+  BloomProbeArray(cfg, *filter_, keys.data(), out.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], filter_->MayContain(keys[i]) ? 1u : 0u)
+        << "config " << cfg.ToString() << " key " << keys[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, BloomProbeConfigTest,
+    ::testing::ValuesIn(BloomProbeSupportedConfigs()),
+    [](const ::testing::TestParamInfo<HybridConfig>& info) {
+      return info.param.ToString();
+    });
+
+TEST(BloomProbeTest, InsertedKeysAllReportOne) {
+  BloomFilter filter(512);
+  std::vector<std::uint64_t> keys;
+  Rng rng(11);
+  for (int i = 0; i < 512; ++i) {
+    keys.push_back(rng.Next());
+    filter.Insert(keys.back());
+  }
+  AlignedBuffer<std::uint64_t> in(keys.size(), 64), out(keys.size(), 64);
+  for (std::size_t i = 0; i < keys.size(); ++i) in[i] = keys[i];
+  for (const HybridConfig cfg :
+       {HybridConfig::PureScalar(), HybridConfig::PureSimd(),
+        HybridConfig{1, 3, 2}, HybridConfig{4, 0, 2}}) {
+    BloomProbeArray(cfg, filter, in.data(), out.data(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(out[i], 1u) << cfg.ToString();
+    }
+  }
+}
+
+TEST(BloomProbeTest, OpsMixContainsGatherPerProbe) {
+  const auto ops = BloomProbeKernel::Ops(7);
+  int gathers = 0;
+  for (OpClass op : ops) {
+    if (op == OpClass::kGather) ++gathers;
+  }
+  EXPECT_EQ(gathers, 7);
+}
+
+}  // namespace
+}  // namespace hef

@@ -1,0 +1,163 @@
+// Tests for the 16-bit-lane HID backends (Table II `vint16`/`uint16`),
+// including the emulated gather/compress (the interface-consistency rule)
+// and a HybridRunner instantiation over 16-bit elements.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "hid/backend16.h"
+#include "hybrid/hybrid_runner.h"
+
+namespace hef {
+namespace {
+
+template <typename B>
+class Hid16BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rng_.Seed(0x16BE + B::kLanes); }
+
+  std::array<std::uint16_t, 32> RandomLanes() {
+    std::array<std::uint16_t, 32> out{};
+    for (int i = 0; i < B::kLanes; ++i) {
+      out[i] = static_cast<std::uint16_t>(rng_.Next());
+    }
+    return out;
+  }
+
+  Rng rng_;
+};
+
+using Backend16Types = ::testing::Types<
+    ScalarBackend16
+#if HEF_HAVE_AVX512_16
+    ,
+    Avx512Backend16
+#endif
+    >;
+TYPED_TEST_SUITE(Hid16BackendTest, Backend16Types);
+
+TYPED_TEST(Hid16BackendTest, LoadStoreRoundTrip) {
+  using B = TypeParam;
+  auto in = this->RandomLanes();
+  std::array<std::uint16_t, 32> out{};
+  B::StoreU(out.data(), B::LoadU(in.data()));
+  for (int i = 0; i < B::kLanes; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TYPED_TEST(Hid16BackendTest, ArithmeticMatchesScalar) {
+  using B = TypeParam;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto a = this->RandomLanes();
+    auto b = this->RandomLanes();
+    auto ra = B::LoadU(a.data());
+    auto rb = B::LoadU(b.data());
+    for (int i = 0; i < B::kLanes; ++i) {
+      EXPECT_EQ(B::Lane(B::Add(ra, rb), i),
+                static_cast<std::uint16_t>(a[i] + b[i]));
+      EXPECT_EQ(B::Lane(B::Sub(ra, rb), i),
+                static_cast<std::uint16_t>(a[i] - b[i]));
+      EXPECT_EQ(B::Lane(B::Mul(ra, rb), i),
+                static_cast<std::uint16_t>(a[i] * b[i]));
+      EXPECT_EQ(B::Lane(B::Xor(ra, rb), i),
+                static_cast<std::uint16_t>(a[i] ^ b[i]));
+    }
+  }
+}
+
+TYPED_TEST(Hid16BackendTest, EmulatedGatherMatchesIndexedLoad) {
+  using B = TypeParam;
+  std::vector<std::uint16_t> table(256);
+  for (auto& t : table) t = static_cast<std::uint16_t>(this->rng_.Next());
+  std::array<std::uint16_t, 32> idx{};
+  for (int i = 0; i < B::kLanes; ++i) {
+    idx[i] = static_cast<std::uint16_t>(this->rng_.Uniform(0, 255));
+  }
+  auto gathered = B::Gather(table.data(), B::LoadU(idx.data()));
+  for (int i = 0; i < B::kLanes; ++i) {
+    EXPECT_EQ(B::Lane(gathered, i), table[idx[i]]);
+  }
+}
+
+TYPED_TEST(Hid16BackendTest, EmulatedCompressKeepsOrder) {
+  using B = TypeParam;
+  std::array<std::uint16_t, 32> v{}, key{};
+  for (int i = 0; i < B::kLanes; ++i) {
+    v[i] = static_cast<std::uint16_t>(1000 + i);
+    key[i] = static_cast<std::uint16_t>(i % 3 == 0 ? 1 : 0);
+  }
+  auto m = B::CmpEq(B::LoadU(key.data()), B::Set1(1));
+  std::array<std::uint16_t, 64> out{};
+  const int count = B::CompressStoreU(out.data(), m, B::LoadU(v.data()));
+  int expected = 0;
+  for (int i = 0; i < B::kLanes; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(out[expected], v[i]);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TYPED_TEST(Hid16BackendTest, CmpGtIsUnsigned) {
+  using B = TypeParam;
+  auto big = B::Set1(0x8000);
+  auto one = B::Set1(1);
+  EXPECT_EQ(B::MaskCount(B::CmpGt(big, one)), B::kLanes);
+}
+
+// A 16-bit mix kernel run through the full hybrid runner.
+struct Mix16Kernel {
+  template <typename B>
+  struct State {
+    typename B::Reg x;
+  };
+  template <typename B>
+  HEF_INLINE void Load(State<B>& st, const std::uint16_t* in) const {
+    st.x = B::LoadU(in);
+  }
+  template <typename B>
+  HEF_INLINE void Compute(State<B>& st) const {
+    auto x = st.x;
+    x = B::Xor(x, B::template Srli<7>(x));
+    x = B::Mul(x, B::Set1(0x2d51));
+    st.x = B::Xor(x, B::template Srli<9>(x));
+  }
+  template <typename B>
+  HEF_INLINE void Store(std::uint16_t* out, const State<B>& st) const {
+    B::StoreU(out, st.x);
+  }
+};
+
+std::uint16_t Mix16Reference(std::uint16_t x) {
+  x = static_cast<std::uint16_t>(x ^ (x >> 7));
+  x = static_cast<std::uint16_t>(x * 0x2d51);
+  return static_cast<std::uint16_t>(x ^ (x >> 9));
+}
+
+TEST(HybridRunner16Test, MixKernelAllConfigsMatchReference) {
+  Rng rng(21);
+  const std::size_t n = 5003;
+  AlignedBuffer<std::uint16_t> in(n, 512), out(n, 512);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<std::uint16_t>(rng.Next());
+  }
+  auto check = [&](auto runner_tag) {
+    using Runner = decltype(runner_tag);
+    Runner::Run(Mix16Kernel{}, in.data(), out.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], Mix16Reference(in[i])) << "element " << i;
+    }
+  };
+  check(HybridRunner<Mix16Kernel, 0, 1, 1, DefaultVectorBackend16>{});
+  check(HybridRunner<Mix16Kernel, 1, 0, 1, DefaultVectorBackend16>{});
+  check(HybridRunner<Mix16Kernel, 1, 3, 2, DefaultVectorBackend16>{});
+  check(HybridRunner<Mix16Kernel, 2, 2, 2, DefaultVectorBackend16>{});
+}
+
+}  // namespace
+}  // namespace hef

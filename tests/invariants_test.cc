@@ -1,0 +1,50 @@
+// Death tests for the library's hard invariants: HEF_CHECK violations must
+// abort loudly rather than corrupt benchmark results silently.
+
+#include <gtest/gtest.h>
+
+#include "algo/murmur.h"
+#include "common/aligned_buffer.h"
+#include "hybrid/hybrid_config.h"
+#include "table/linear_hash_table.h"
+
+namespace hef {
+namespace {
+
+using InvariantsDeathTest = ::testing::Test;
+
+TEST(InvariantsDeathTest, DuplicateHashTableKeyAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  LinearHashTable table(16);
+  table.Insert(7, 70);
+  EXPECT_DEATH(table.Insert(7, 71), "duplicate key");
+}
+
+TEST(InvariantsDeathTest, EmptyMarkerKeyAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  LinearHashTable table(16);
+  EXPECT_DEATH(table.Insert(kEmptyKey, 1), "empty marker");
+}
+
+TEST(InvariantsDeathTest, ConfigOutsideGridAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  AlignedBuffer<std::uint64_t> in(64, 64), out(64, 64);
+  EXPECT_DEATH(
+      MurmurHashArray(HybridConfig{9, 9, 9}, in.data(), out.data(), 64),
+      "outside compiled grid");
+}
+
+TEST(InvariantsDeathTest, ResultValueOnErrorAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_DEATH((void)r.value(), "Result::value\\(\\) on error");
+}
+
+TEST(InvariantsDeathTest, BadLoadFactorAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(LinearHashTable(16, 0.0), "load factor");
+  EXPECT_DEATH(LinearHashTable(16, 1.5), "load factor");
+}
+
+}  // namespace
+}  // namespace hef

@@ -1,0 +1,117 @@
+// Tests for the perf_event wrapper: must either produce sane counters or
+// degrade gracefully — never crash or report garbage as valid.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/stopwatch.h"
+#include "perf/perf_counters.h"
+#include "perf/uops_counters.h"
+
+namespace hef {
+namespace {
+
+std::uint64_t BusyWork(int n) {
+  volatile std::uint64_t sink = 1;
+  for (int i = 0; i < n; ++i) {
+    sink = sink * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return sink;
+}
+
+TEST(PerfCountersTest, ConstructsWithoutCrashing) {
+  PerfCounters perf;
+  if (!perf.available()) {
+    EXPECT_FALSE(perf.error().empty());
+  }
+}
+
+TEST(PerfCountersTest, StopWithoutPmuIsInvalidButTimed) {
+  PerfCounters perf;
+  perf.Start();
+  BusyWork(100000);
+  const PerfReading r = perf.Stop();
+  EXPECT_GT(r.elapsed_seconds, 0);
+  if (!perf.available()) {
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(r.Ipc(), 0.0);
+    EXPECT_EQ(r.FrequencyGhz(), 0.0);
+  }
+}
+
+TEST(PerfCountersTest, CountersScaleWithWork) {
+  PerfCounters perf;
+  if (!perf.available()) {
+    GTEST_SKIP() << "PMU unavailable: " << perf.error();
+  }
+  perf.Start();
+  BusyWork(1000);
+  const PerfReading small = perf.Stop();
+  perf.Start();
+  BusyWork(1000000);
+  const PerfReading big = perf.Stop();
+  ASSERT_TRUE(small.valid);
+  ASSERT_TRUE(big.valid);
+  EXPECT_GT(big.instructions, small.instructions * 10);
+  EXPECT_GT(big.cycles, small.cycles);
+  EXPECT_GT(big.Ipc(), 0.1);
+  EXPECT_LT(big.Ipc(), 8.0);
+}
+
+TEST(PerfCountersTest, ReusableAcrossWindows) {
+  PerfCounters perf;
+  for (int i = 0; i < 3; ++i) {
+    perf.Start();
+    BusyWork(10000);
+    const PerfReading r = perf.Stop();
+    EXPECT_GT(r.elapsed_seconds, 0);
+  }
+}
+
+TEST(UopsCountersTest, DegradesGracefully) {
+  UopsCounters counters;
+  counters.Start();
+  BusyWork(10000);
+  const UopsReading r = counters.Stop();
+  if (!counters.available()) {
+    EXPECT_FALSE(counters.error().empty());
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(r.FractionGe(1), 0.0);
+    GTEST_SKIP() << "raw uops events unavailable: " << counters.error();
+  }
+  ASSERT_TRUE(r.valid);
+  // Threshold fractions are monotone decreasing and within [0, 1].
+  double prev = 1.0;
+  for (int n = 1; n <= 4; ++n) {
+    const double f = r.FractionGe(n);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, prev + 1e-9);
+    prev = f;
+  }
+}
+
+TEST(UopsReadingTest, OutOfRangeThresholdsAreZero) {
+  UopsReading r;
+  r.valid = true;
+  r.cycles = 100;
+  r.cycles_ge = {90, 50, 20, 5};
+  EXPECT_EQ(r.FractionGe(0), 0.0);
+  EXPECT_EQ(r.FractionGe(5), 0.0);
+  EXPECT_DOUBLE_EQ(r.FractionGe(2), 0.5);
+}
+
+TEST(PerfReadingTest, DerivedMetricsHandleZeroes) {
+  PerfReading r;
+  EXPECT_EQ(r.Ipc(), 0.0);
+  EXPECT_EQ(r.FrequencyGhz(), 0.0);
+  r.valid = true;
+  r.instructions = 100;
+  r.cycles = 50;
+  r.elapsed_seconds = 1e-9 * 50;  // 50 cycles in 50 ns -> 1 GHz
+  EXPECT_DOUBLE_EQ(r.Ipc(), 2.0);
+  EXPECT_NEAR(r.FrequencyGhz(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hef

@@ -1,0 +1,137 @@
+// Unit tests for hef/procinfo: CPU feature detection, processor model
+// presets, and the instruction latency/throughput table.
+
+#include <gtest/gtest.h>
+
+#include "procinfo/cpu_features.h"
+#include "procinfo/instruction_table.h"
+#include "procinfo/processor_model.h"
+
+namespace hef {
+namespace {
+
+TEST(CpuFeaturesTest, DetectionIsStable) {
+  const CpuFeatures& a = CpuFeatures::Get();
+  const CpuFeatures& b = CpuFeatures::Get();
+  EXPECT_EQ(&a, &b);
+  EXPECT_FALSE(a.vendor.empty());
+}
+
+TEST(CpuFeaturesTest, BestIsaConsistentWithFlags) {
+  const CpuFeatures& f = CpuFeatures::Get();
+  const Isa best = f.BestIsa();
+  if (best == Isa::kAvx512) {
+    EXPECT_TRUE(f.avx512f);
+    EXPECT_TRUE(f.avx512dq);
+  } else if (best == Isa::kAvx2) {
+    EXPECT_TRUE(f.avx2);
+  }
+}
+
+TEST(CpuFeaturesTest, CompileTimeMatchesRuntime) {
+  // If this TU was compiled with AVX-512 the CPU must report it (we build
+  // with -march=native), and vice versa for AVX2.
+#if defined(__AVX512F__)
+  EXPECT_TRUE(CpuFeatures::Get().avx512f);
+#endif
+#if defined(__AVX2__)
+  EXPECT_TRUE(CpuFeatures::Get().avx2);
+#endif
+}
+
+TEST(IsaTest, LaneCounts) {
+  EXPECT_EQ(IsaLanes64(Isa::kScalar), 1);
+  EXPECT_EQ(IsaLanes64(Isa::kAvx2), 4);
+  EXPECT_EQ(IsaLanes64(Isa::kAvx512), 8);
+}
+
+TEST(ProcessorModelTest, Silver4110MatchesPaperDescription) {
+  const ProcessorModel m = ProcessorModel::Silver4110();
+  // §V-C: "equipped with one fused AVX-512 pipeline and four scalar
+  // pipelines, in which one of the scalar pipelines shares the issue port
+  // with the AVX-512".
+  EXPECT_EQ(m.simd_pipes, 1);
+  EXPECT_EQ(m.scalar_alu_pipes, 4);
+  EXPECT_EQ(m.shared_pipes, 1);
+  EXPECT_EQ(m.ExclusiveScalarPipes(), 3);
+  EXPECT_EQ(m.vector_registers, 32);
+  EXPECT_EQ(m.scalar_registers, 32);
+}
+
+TEST(ProcessorModelTest, Gold6240RHasTwoSimdPipes) {
+  const ProcessorModel m = ProcessorModel::Gold6240R();
+  EXPECT_EQ(m.simd_pipes, 2);
+  EXPECT_EQ(m.scalar_alu_pipes, 4);
+  EXPECT_GT(m.base_ghz, m.avx512_ghz);  // AVX-512 license throttling
+}
+
+TEST(ProcessorModelTest, ByNameRoundTrips) {
+  for (const char* name : {"silver4110", "gold6240r", "host"}) {
+    auto r = ProcessorModel::ByName(name);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_EQ(r.value().name, name);
+  }
+  EXPECT_FALSE(ProcessorModel::ByName("epyc").ok());
+}
+
+TEST(InstructionTableTest, CoversEveryOpForEveryIsa) {
+  const InstructionTable& table = InstructionTable::Get();
+  for (OpClass op :
+       {OpClass::kAdd, OpClass::kSub, OpClass::kMul, OpClass::kAnd,
+        OpClass::kOr, OpClass::kXor, OpClass::kShiftLeft,
+        OpClass::kShiftRight, OpClass::kLoad, OpClass::kStore,
+        OpClass::kGather, OpClass::kCmpEq, OpClass::kCmpGt,
+        OpClass::kCompress, OpClass::kBlend, OpClass::kSet1}) {
+    for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+      const InstructionInfo& info = table.Lookup(op, isa);
+      EXPECT_GT(info.latency, 0) << OpClassName(op) << "/" << IsaName(isa);
+      EXPECT_GT(info.throughput, 0);
+      EXPECT_GE(info.uops, 1);
+    }
+  }
+}
+
+TEST(InstructionTableTest, GatherMatchesPaperNumbers) {
+  // §II-C quotes vpgatherqq: latency 26 cycles, throughput 5 cycles.
+  const InstructionInfo& g =
+      InstructionTable::Get().Lookup(OpClass::kGather, Isa::kAvx512);
+  EXPECT_DOUBLE_EQ(g.latency, 26);
+  EXPECT_DOUBLE_EQ(g.throughput, 5);
+}
+
+TEST(InstructionTableTest, LatencyAtLeastThroughputForLongOps) {
+  // The paper's premise: "the latency of many SIMD and scalar instructions
+  // are significantly less than their throughput" is phrased inversely —
+  // latency >= reciprocal throughput for pipelined instructions.
+  const InstructionTable& table = InstructionTable::Get();
+  for (const auto& e : table.entries()) {
+    EXPECT_GE(e.latency, e.throughput)
+        << OpClassName(e.op) << "/" << IsaName(e.isa);
+  }
+}
+
+TEST(InstructionTableTest, MaxLatencyOverThroughputPicksGather) {
+  const InstructionTable& table = InstructionTable::Get();
+  // CRC64's op mix (no multiply): the gather dominates with 26/5 = 5.2.
+  const auto& info = table.MaxLatencyOverThroughput(
+      {OpClass::kAdd, OpClass::kShiftRight, OpClass::kGather, OpClass::kXor},
+      Isa::kAvx512);
+  EXPECT_EQ(info.op, OpClass::kGather);
+}
+
+TEST(InstructionTableTest, MaxLatencyOverThroughputMurmurPicksMul) {
+  // In a mul/xor/shift mix (Murmur) the multiply dominates on AVX-512.
+  const InstructionTable& table = InstructionTable::Get();
+  const auto& info = table.MaxLatencyOverThroughput(
+      {OpClass::kMul, OpClass::kXor, OpClass::kShiftRight}, Isa::kAvx512);
+  EXPECT_EQ(info.op, OpClass::kMul);
+}
+
+TEST(InstructionTableTest, ScalarMulFasterLatencyThanVector) {
+  const InstructionTable& table = InstructionTable::Get();
+  EXPECT_LT(table.Lookup(OpClass::kMul, Isa::kScalar).latency,
+            table.Lookup(OpClass::kMul, Isa::kAvx512).latency);
+}
+
+}  // namespace
+}  // namespace hef

@@ -1,0 +1,123 @@
+// Tests for hash radix partitioning: the output is a stable permutation
+// of the input, every row lands in its hash partition, offsets are exact,
+// and the result is invariant under the hybrid coordinate of the hash
+// kernel.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "table/radix_partition.h"
+
+namespace hef {
+namespace {
+
+struct PartitionedData {
+  RadixPartitions parts;
+  AlignedBuffer<std::uint64_t> keys, values;
+};
+
+PartitionedData Partition(const std::vector<std::uint64_t>& in_keys,
+                          int bits, HybridConfig cfg = {1, 0, 1}) {
+  const std::size_t n = in_keys.size();
+  AlignedBuffer<std::uint64_t> keys(n, 64), values(n, 64), scratch(n, 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = in_keys[i];
+    values[i] = i;  // row id payload: lets tests check stability
+  }
+  PartitionedData out;
+  out.keys.Allocate(n, 64);
+  out.values.Allocate(n, 64);
+  out.parts = RadixPartition(cfg, keys.data(), values.data(), n, bits,
+                             scratch.data(), out.keys.data(),
+                             out.values.data());
+  return out;
+}
+
+TEST(RadixPartitionTest, OutputIsPermutationInCorrectPartitions) {
+  Rng rng(81);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back(rng.Next());
+  const int bits = 4;
+  const PartitionedData out = Partition(keys, bits);
+
+  ASSERT_EQ(out.parts.NumPartitions(), 16u);
+  ASSERT_EQ(out.parts.offsets.back(), keys.size());
+
+  std::multiset<std::uint64_t> want(keys.begin(), keys.end());
+  std::multiset<std::uint64_t> got(out.keys.begin(),
+                                   out.keys.begin() + keys.size());
+  EXPECT_EQ(want, got);
+
+  for (std::size_t p = 0; p < out.parts.NumPartitions(); ++p) {
+    for (std::size_t i = out.parts.offsets[p]; i < out.parts.offsets[p + 1];
+         ++i) {
+      ASSERT_EQ(RadixPartitionOf(out.keys[i], bits), p)
+          << "row " << i << " in partition " << p;
+    }
+  }
+}
+
+TEST(RadixPartitionTest, StableWithinPartition) {
+  Rng rng(82);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Uniform(0, 63));
+  const PartitionedData out = Partition(keys, 3);
+  // Payloads are original row ids: within each partition they must be
+  // strictly increasing (stable scatter).
+  for (std::size_t p = 0; p < out.parts.NumPartitions(); ++p) {
+    for (std::size_t i = out.parts.offsets[p] + 1;
+         i < out.parts.offsets[p + 1]; ++i) {
+      ASSERT_LT(out.values[i - 1], out.values[i]) << "partition " << p;
+    }
+  }
+}
+
+TEST(RadixPartitionTest, HybridCoordinateDoesNotChangeResult) {
+  Rng rng(83);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 3001; ++i) keys.push_back(rng.Next());
+  const PartitionedData a = Partition(keys, 5, HybridConfig{0, 1, 1});
+  const PartitionedData b = Partition(keys, 5, HybridConfig{1, 3, 2});
+  EXPECT_EQ(a.parts.offsets, b.parts.offsets);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(a.keys[i], b.keys[i]) << i;
+    ASSERT_EQ(a.values[i], b.values[i]) << i;
+  }
+}
+
+TEST(RadixPartitionTest, BalancedForRandomKeys) {
+  Rng rng(84);
+  std::vector<std::uint64_t> keys;
+  const std::size_t n = 1 << 16;
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(rng.Next());
+  const int bits = 6;
+  const PartitionedData out = Partition(keys, bits);
+  const double expect = static_cast<double>(n) / (1 << bits);
+  for (std::size_t p = 0; p < out.parts.NumPartitions(); ++p) {
+    EXPECT_NEAR(static_cast<double>(out.parts.PartitionSize(p)), expect,
+                expect * 0.25)
+        << "partition " << p;
+  }
+}
+
+TEST(RadixPartitionTest, KeysOnlyModeAndTinyInputs) {
+  AlignedBuffer<std::uint64_t> keys(3, 64), scratch(3, 64), out(3, 64);
+  keys[0] = 10;
+  keys[1] = 20;
+  keys[2] = 10;
+  const RadixPartitions parts = RadixPartition(
+      HybridConfig{1, 0, 1}, keys.data(), nullptr, 3, 2, scratch.data(),
+      out.data(), nullptr);
+  EXPECT_EQ(parts.offsets.back(), 3u);
+  // Duplicate keys stay adjacent and ordered.
+  std::size_t p10 = RadixPartitionOf(10, 2);
+  EXPECT_EQ(out[parts.offsets[p10]], 10u);
+}
+
+}  // namespace
+}  // namespace hef

@@ -1,0 +1,146 @@
+// Tests for tuner extensions: TuningCache persistence, exhaustive search
+// as the pruning baseline, and per-query dynamic selection (§VII).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ssb/database.h"
+#include "tuner/query_tuner.h"
+#include "tuner/search_space.h"
+#include "tuner/tuning_cache.h"
+
+namespace hef {
+namespace {
+
+class TuningCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/hef_tuning_cache_test.txt";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(TuningCacheTest, MissingFileLoadsEmpty) {
+  TuningCache cache(path_);
+  ASSERT_TRUE(cache.Load().ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.host_mismatch());
+}
+
+TEST_F(TuningCacheTest, SaveLoadRoundTrip) {
+  TuningCache cache(path_);
+  cache.Put("murmur", HybridConfig{1, 3, 2}, 0.00123);
+  cache.Put("probe", HybridConfig{2, 0, 3}, 0.042);
+  ASSERT_TRUE(cache.Save().ok());
+
+  TuningCache loaded(path_);
+  ASSERT_TRUE(loaded.Load().ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  ASSERT_TRUE(loaded.Contains("murmur"));
+  const auto entry = loaded.Get("murmur").value();
+  EXPECT_EQ(entry.config, (HybridConfig{1, 3, 2}));
+  EXPECT_NEAR(entry.seconds, 0.00123, 1e-9);
+  EXPECT_FALSE(loaded.Get("gather").ok());
+}
+
+TEST_F(TuningCacheTest, PutOverwrites) {
+  TuningCache cache(path_);
+  cache.Put("op", HybridConfig{1, 0, 1}, 1.0);
+  cache.Put("op", HybridConfig{1, 1, 1}, 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get("op").value().config, (HybridConfig{1, 1, 1}));
+}
+
+TEST_F(TuningCacheTest, RejectsGarbageFile) {
+  {
+    FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("not a cache\n", f);
+    std::fclose(f);
+  }
+  TuningCache cache(path_);
+  EXPECT_FALSE(cache.Load().ok());
+}
+
+TEST_F(TuningCacheTest, ForeignHostCacheIsIgnored) {
+  {
+    FILE* f = std::fopen(path_.c_str(), "w");
+    std::fputs("hef-tuning-cache v1\nhost some other machine\n"
+               "op murmur v1s3p2 0.001\n",
+               f);
+    std::fclose(f);
+  }
+  TuningCache cache(path_);
+  ASSERT_TRUE(cache.Load().ok());
+  EXPECT_TRUE(cache.host_mismatch());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(TuningCacheTest, MalformedEntryIsError) {
+  TuningCache writer(path_);
+  ASSERT_TRUE(writer.Save().ok());  // valid header, no entries
+  {
+    FILE* f = std::fopen(path_.c_str(), "a");
+    std::fputs("op broken_line\n", f);
+    std::fclose(f);
+  }
+  TuningCache cache(path_);
+  EXPECT_FALSE(cache.Load().ok());
+}
+
+double ConvexCost(const HybridConfig& cfg) {
+  const double dv = cfg.v - 1.0;
+  const double ds = cfg.s - 2.0;
+  const double dp = cfg.p - 2.0;
+  return 1.0 + dv * dv + ds * ds + dp * dp;
+}
+
+TEST(ExhaustiveTest, MeasuresWholeSpaceAndAgreesWithPruning) {
+  const auto space = EnumerateSearchSpace(3, 4, 3);
+  const TuneResult full = TuneExhaustive(space, ConvexCost);
+  EXPECT_EQ(full.nodes_tested, static_cast<int>(space.size()));
+  EXPECT_EQ(full.best, (HybridConfig{1, 2, 2}));
+
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 3 && cfg.s <= 4 && cfg.p <= 3;
+  };
+  const TuneResult pruned = Tune(HybridConfig{3, 4, 3}, ConvexCost, options);
+  EXPECT_EQ(pruned.best, full.best);
+  EXPECT_LT(pruned.nodes_tested, full.nodes_tested);
+}
+
+TEST(QueryTunerTest, FindsValidProbeAndBeatsNothing) {
+  const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(0.01, 3);
+  QueryTuneOptions options;
+  options.repetitions = 1;
+  const QueryTuneResult r = TuneQueryProbe(db, QueryId::kQ2_1, options);
+  EXPECT_TRUE(r.probe.valid());
+  EXPECT_GT(r.best_seconds, 0);
+  EXPECT_GE(r.nodes_tested, 1);
+}
+
+TEST(QueryTunerTest, MultiQueryTuningAggregatesCosts) {
+  const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(0.005, 11);
+  QueryTuneOptions options;
+  options.repetitions = 1;
+  const QueryTuneResult r = TuneQueriesProbe(
+      db, {QueryId::kQ2_1, QueryId::kQ3_1}, options);
+  EXPECT_TRUE(r.probe.valid());
+  // Cost is the sum over both queries: strictly positive.
+  EXPECT_GT(r.best_seconds, 0);
+}
+
+TEST(QueryTunerTest, UnsupportedInitialFallsBack) {
+  const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(0.005, 4);
+  QueryTuneOptions options;
+  options.initial_probe = HybridConfig{9, 9, 9};  // outside the grid
+  options.repetitions = 1;
+  const QueryTuneResult r = TuneQueryProbe(db, QueryId::kQ3_1, options);
+  EXPECT_TRUE(r.probe.valid());
+}
+
+}  // namespace
+}  // namespace hef

@@ -1,0 +1,184 @@
+// Tests for the tuner: Eq. 1/2 search-space arithmetic, the two-stage
+// candidate generator, and the pruning optimizer (on synthetic cost
+// surfaces where the true optimum is known, plus one real kernel).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "algo/murmur.h"
+#include "tuner/candidate_generator.h"
+#include "tuner/kernel_tuners.h"
+#include "tuner/optimizer.h"
+#include "tuner/search_space.h"
+
+namespace hef {
+namespace {
+
+TEST(SearchSpaceTest, Eq2Formula) {
+  // Eq. 2: space = v*s*(p-1) + v + s - 1.
+  EXPECT_EQ(SearchSpaceSize(1, 0, 1), 0u + 1 + 0 - 1);
+  EXPECT_EQ(SearchSpaceSize(0, 3, 1), 2u);
+  EXPECT_EQ(SearchSpaceSize(2, 3, 4), 2u * 3 * 3 + 2 + 3 - 1);
+  EXPECT_EQ(SearchSpaceSize(8, 4, 4), 8u * 4 * 3 + 8 + 4 - 1);
+}
+
+TEST(SearchSpaceTest, ComplexityIsCubic) {
+  // O(v*s*p): doubling every bound scales the size by ~8.
+  const auto small = SearchSpaceSize(4, 4, 4);
+  const auto big = SearchSpaceSize(8, 8, 8);
+  EXPECT_GT(big, small * 6);
+  EXPECT_LT(big, small * 10);
+}
+
+TEST(SearchSpaceTest, EnumerationMatchesGrid) {
+  const auto space = EnumerateSearchSpace(2, 3, 4);
+  // (v+1)*(s+1)*p minus the p invalid (0,0,p) nodes.
+  EXPECT_EQ(space.size(), 3u * 4 * 4 - 4);
+  std::set<HybridConfig> unique(space.begin(), space.end());
+  EXPECT_EQ(unique.size(), space.size());
+  for (const auto& cfg : space) {
+    EXPECT_TRUE(cfg.valid());
+  }
+}
+
+TEST(CandidateGeneratorTest, Silver4110MurmurSeed) {
+  // §IV-A worked through for Murmur on the Silver 4110: stage 1 gives
+  // v = 1 (one fused AVX-512 pipe), s = 3 (four scalar pipes, one shared).
+  const HybridConfig cfg = GenerateInitialCandidate(
+      ProcessorModel::Silver4110(), {MurmurKernel::Ops(), Isa::kAvx512});
+  EXPECT_EQ(cfg.v, 1);
+  EXPECT_EQ(cfg.s, 3);
+  // Stage 2: dominant instruction is vpmullq (15/1.5 = 10); argc max = 3;
+  // p = min(32/1.5, 32/max(9, 3)) = min(21, 3) = 3.
+  EXPECT_EQ(cfg.p, 3);
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(CandidateGeneratorTest, Gold6240RGivesTwoVectorStatements) {
+  const HybridConfig cfg = GenerateInitialCandidate(
+      ProcessorModel::Gold6240R(), {MurmurKernel::Ops(), Isa::kAvx512});
+  EXPECT_EQ(cfg.v, 2);
+  EXPECT_EQ(cfg.s, 2);
+  EXPECT_GE(cfg.p, 1);
+}
+
+TEST(CandidateGeneratorTest, GatherDominatedTemplate) {
+  // CRC64: gather dominates; p = min(32/5, 32/max(9, 4)) = min(6, 3) = 3.
+  const HybridConfig cfg = GenerateInitialCandidate(
+      ProcessorModel::Silver4110(),
+      {{OpClass::kGather, OpClass::kXor, OpClass::kShiftRight},
+       Isa::kAvx512});
+  EXPECT_EQ(cfg.p, 3);
+}
+
+TEST(CandidateGeneratorTest, DegenerateModelStillValid) {
+  ProcessorModel m = ProcessorModel::Silver4110();
+  m.simd_pipes = 0;
+  m.scalar_alu_pipes = 1;
+  m.shared_pipes = 1;
+  const HybridConfig cfg =
+      GenerateInitialCandidate(m, {MurmurKernel::Ops(), Isa::kScalar});
+  EXPECT_TRUE(cfg.valid());
+}
+
+// Synthetic convex cost surface with optimum at (1, 3, 2).
+double ConvexCost(const HybridConfig& cfg) {
+  const double dv = cfg.v - 1.0;
+  const double ds = cfg.s - 3.0;
+  const double dp = cfg.p - 2.0;
+  return 1.0 + dv * dv + 0.5 * ds * ds + 0.25 * dp * dp;
+}
+
+TEST(OptimizerTest, FindsConvexOptimumFromAnywhere) {
+  const auto space = EnumerateSearchSpace(4, 6, 5);
+  TuneOptions options;
+  options.is_supported = [&](const HybridConfig& cfg) {
+    return cfg.v <= 4 && cfg.s <= 6 && cfg.p <= 5;
+  };
+  for (const HybridConfig start :
+       {HybridConfig{4, 6, 5}, HybridConfig{0, 1, 1}, HybridConfig{1, 3, 2},
+        HybridConfig{4, 0, 1}}) {
+    const TuneResult r = Tune(start, ConvexCost, options);
+    EXPECT_EQ(r.best, (HybridConfig{1, 3, 2})) << start.ToString();
+    EXPECT_DOUBLE_EQ(r.best_time, 1.0);
+    // Pruning: strictly fewer measurements than exhaustive search.
+    EXPECT_LT(r.nodes_tested, static_cast<int>(space.size()))
+        << start.ToString();
+  }
+}
+
+TEST(OptimizerTest, NeverMeasuresSameNodeTwice) {
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 3 && cfg.s <= 3 && cfg.p <= 3;
+  };
+  const TuneResult r = Tune(HybridConfig{2, 2, 2}, ConvexCost, options);
+  std::set<HybridConfig> seen;
+  for (const auto& [cfg, t] : r.history) {
+    EXPECT_TRUE(seen.insert(cfg).second) << cfg.ToString();
+  }
+  EXPECT_EQ(static_cast<int>(r.history.size()), r.nodes_tested);
+}
+
+TEST(OptimizerTest, EscapesPrunedRidges) {
+  // The paper's n_132 -> n_113 example: the direct edge toward the optimum
+  // (raising p at s = 3) is pruned by a ridge, but a monotone winning path
+  // around it — <n132, n122, n112, n113> — exists and must be taken.
+  // Optimum at (1, 1, 3), start at (1, 3, 2).
+  auto ridge = [](const HybridConfig& cfg) {
+    const double base = std::abs(cfg.v - 1) * 2.0 + std::abs(cfg.s - 1) +
+                        std::abs(cfg.p - 3) * 0.5;
+    const double ridge_penalty = (cfg.s >= 3 && cfg.p >= 3) ? 10.0 : 0.0;
+    return base + ridge_penalty;
+  };
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 3 && cfg.s <= 4 && cfg.p <= 4;
+  };
+  const TuneResult r = Tune(HybridConfig{1, 3, 2}, ridge, options);
+  EXPECT_EQ(r.best, (HybridConfig{1, 1, 3}));
+}
+
+TEST(OptimizerTest, RespectsMeasurementBudget) {
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 8 && cfg.s <= 8 && cfg.p <= 8;
+  };
+  options.max_measurements = 5;
+  const TuneResult r = Tune(HybridConfig{4, 4, 4}, ConvexCost, options);
+  EXPECT_LE(r.nodes_tested, 5 + 6);  // budget checked per expansion round
+}
+
+TEST(KernelTunersTest, AllKernelTunersProduceValidOptima) {
+  KernelTuneOptions options;
+  options.elements = 1 << 11;
+  options.repetitions = 2;
+  options.probe_table_keys = 1 << 9;
+  for (const TuneResult& r :
+       {TuneCrc64(options), TuneProbe(options), TuneGather(options),
+        TuneBloomProbe(options), TuneSumReduce(options)}) {
+    EXPECT_TRUE(r.best.valid());
+    EXPECT_GT(r.best_time, 0.0);
+    EXPECT_GE(r.nodes_tested, 1);
+  }
+}
+
+TEST(KernelTunersTest, MurmurTuneProducesValidOptimum) {
+  KernelTuneOptions options;
+  options.elements = 1 << 12;
+  options.repetitions = 3;
+  const TuneResult r = TuneMurmur(options);
+  EXPECT_TRUE(r.best.valid());
+  EXPECT_GT(r.best_time, 0.0);
+  EXPECT_GE(r.nodes_tested, 1);
+  // The tuned point must not lose to the pure baselines it was compared
+  // against during the search (they are its neighbours or ancestors).
+  for (const auto& [cfg, t] : r.history) {
+    EXPECT_LE(r.best_time, t) << cfg.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hef

@@ -1,0 +1,70 @@
+// Tests for the Voila comparator engine: bit-identical results to the
+// reference executor for every query and configuration knob.
+
+#include <gtest/gtest.h>
+
+#include "engine/reference.h"
+#include "ssb/database.h"
+#include "voila/voila_engine.h"
+
+namespace hef {
+namespace {
+
+const ssb::SsbDatabase& TestDb() {
+  static const ssb::SsbDatabase* db =
+      new ssb::SsbDatabase(ssb::SsbDatabase::Generate(0.02, 7));
+  return *db;
+}
+
+class VoilaQueryTest : public ::testing::TestWithParam<QueryId> {};
+
+TEST_P(VoilaQueryTest, MatchesReference) {
+  const QueryId query = GetParam();
+  VoilaEngine engine(TestDb());
+  const QueryResult got = engine.Run(query);
+  const QueryResult want = RunReferenceQuery(TestDb(), query);
+  ASSERT_EQ(got.qualifying_rows, want.qualifying_rows);
+  EXPECT_EQ(got, want) << "got:\n" << got.ToString() << "want:\n"
+                       << want.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, VoilaQueryTest,
+                         ::testing::ValuesIn(AllQueries()),
+                         [](const ::testing::TestParamInfo<QueryId>& info) {
+                           std::string name = QueryName(info.param);
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(VoilaConfigTest, PrefetchOffStillCorrect) {
+  VoilaConfig config;
+  config.prefetch = false;
+  VoilaEngine engine(TestDb(), config);
+  EXPECT_EQ(engine.Run(QueryId::kQ2_1),
+            RunReferenceQuery(TestDb(), QueryId::kQ2_1));
+}
+
+TEST(VoilaConfigTest, VectorSizeDoesNotChangeResults) {
+  const QueryResult want = RunReferenceQuery(TestDb(), QueryId::kQ4_2);
+  for (int vec : {64, 1024, 4096}) {
+    VoilaConfig config;
+    config.vector_size = vec;
+    VoilaEngine engine(TestDb(), config);
+    EXPECT_EQ(engine.Run(QueryId::kQ4_2), want) << "vector " << vec;
+  }
+}
+
+TEST(VoilaConfigTest, PrefetchGroupDoesNotChangeResults) {
+  const QueryResult want = RunReferenceQuery(TestDb(), QueryId::kQ3_3);
+  for (int group : {1, 4, 64}) {
+    VoilaConfig config;
+    config.prefetch_group = group;
+    VoilaEngine engine(TestDb(), config);
+    EXPECT_EQ(engine.Run(QueryId::kQ3_3), want) << "group " << group;
+  }
+}
+
+}  // namespace
+}  // namespace hef
