@@ -3,11 +3,14 @@
 #ifndef HEF_BENCH_BENCH_UTIL_H_
 #define HEF_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <limits>
 #include <string>
+#include <vector>
 
+#include "common/macros.h"
 #include "common/stopwatch.h"
 #include "perf/perf_counters.h"
 
@@ -15,27 +18,46 @@ namespace hef::bench {
 
 struct Measurement {
   double ms = 0;               // best-of-repetitions wall clock
+  double median_ms = 0;        // median of the timed repetitions
+  // One entry per timed repetition, in run order. Never includes the
+  // warm-up run.
+  std::vector<double> samples_ms;
   PerfReading perf;            // counters for the best run (or invalid)
 };
 
 // Runs `fn` `repetitions` times (after one warm-up) and returns the
-// fastest run's wall clock and counters.
+// fastest run's wall clock and counters plus all timed samples and their
+// median. The warm-up run is never timed, so it cannot leak into the
+// reported best/median.
 inline Measurement MeasureBest(const std::function<void()>& fn,
                                int repetitions, PerfCounters* counters) {
+  HEF_CHECK_MSG(repetitions >= 1, "repetitions %d < 1", repetitions);
   fn();  // warm-up
   Measurement best;
   best.ms = std::numeric_limits<double>::max();
+  best.samples_ms.reserve(static_cast<std::size_t>(repetitions));
   for (int r = 0; r < repetitions; ++r) {
     counters->Start();
     Stopwatch sw;
     fn();
     const double ms = sw.ElapsedMillis();
     const PerfReading reading = counters->Stop();
+    best.samples_ms.push_back(ms);
     if (ms < best.ms) {
       best.ms = ms;
       best.perf = reading;
     }
   }
+  // Exactly one sample per requested repetition — the warm-up is excluded
+  // from the reported statistics by construction.
+  HEF_CHECK(best.samples_ms.size() ==
+            static_cast<std::size_t>(repetitions));
+  std::vector<double> sorted = best.samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  best.median_ms = sorted.size() % 2 == 1
+                       ? sorted[mid]
+                       : 0.5 * (sorted[mid - 1] + sorted[mid]);
   return best;
 }
 

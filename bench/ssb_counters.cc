@@ -16,6 +16,7 @@
 #include "common/text_table.h"
 #include "engine/engine.h"
 #include "ssb/database.h"
+#include "telemetry/bench_report.h"
 #include "tuner/kernel_tuners.h"
 #include "tuner/query_tuner.h"
 #include "voila/voila_engine.h"
@@ -30,6 +31,8 @@ int Main(int argc, char** argv) {
   flags.AddInt64("repetitions", 3, "measurement repetitions");
   flags.AddBool("tune", true, "tune hybrid kernels first");
   flags.AddBool("csv", false, "emit CSV");
+  flags.AddString("json", "",
+                  "write a hef-bench-v1 JSON report to this path");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -130,6 +133,41 @@ int Main(int argc, char** argv) {
 
   std::printf("\n%s\n", flags.GetBool("csv") ? table.ToCsv().c_str()
                                              : table.ToString().c_str());
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    telemetry::BenchReport report("ssb_counters");
+    report.SetConfig("query", QueryName(query));
+    report.SetConfig("scale_factor", sf);
+    report.SetConfig("repetitions", repetitions);
+    report.SetConfig("tuned", flags.GetBool("tune"));
+    const std::pair<const char*, const bench::Measurement*> measured[] = {
+        {"scalar", &scalar},
+        {"simd", &simd},
+        {"voila", &voila},
+        {"hybrid", &hybrid}};
+    for (const auto& [engine, m] : measured) {
+      auto& row = report.AddResult();
+      row.Set("query", QueryName(query))
+          .Set("engine", engine)
+          .Set("ms", m->ms)
+          .Set("median_ms", m->median_ms);
+      if (m->perf.valid) {
+        row.Set("instructions", m->perf.instructions)
+            .Set("ipc", m->perf.Ipc())
+            .Set("llc_misses", m->perf.llc_misses)
+            .Set("frequency_ghz", m->perf.FrequencyGhz())
+            .Set("pmu_scaled", m->perf.scaled);
+      }
+    }
+    report.IncludeMetrics();
+    const Status ws = report.WriteFile(json_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -18,8 +18,10 @@
 #include "engine/engine.h"
 #include "engine/reference.h"
 #include "ssb/database.h"
+#include "telemetry/bench_report.h"
 #include "tuner/kernel_tuners.h"
 #include "tuner/query_tuner.h"
+#include "tuner/tune_trace.h"
 #include "voila/voila_engine.h"
 
 namespace hef {
@@ -36,6 +38,8 @@ int Main(int argc, char** argv) {
                 "include Q1.x (the paper's figures exclude them)");
   flags.AddBool("verify", true,
                 "cross-check all engines against the reference executor");
+  flags.AddString("json", "",
+                  "write a hef-bench-v1 JSON report to this path");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -48,6 +52,11 @@ int Main(int argc, char** argv) {
 
   const double sf = flags.GetDouble("sf");
   const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+
+  telemetry::BenchReport report("ssb_figures");
+  report.SetConfig("scale_factor", sf);
+  report.SetConfig("repetitions", repetitions);
+  report.SetConfig("tuned", flags.GetBool("tune"));
 
   std::printf("== SSB figure harness (paper Figs. 8-10) ==\n");
   std::printf("scale factor %.2f — generating data...\n", sf);
@@ -69,6 +78,7 @@ int Main(int argc, char** argv) {
     qopt.repetitions = 3;
     const QueryTuneResult probe = TuneQueriesProbe(
         db, {QueryId::kQ2_1, QueryId::kQ3_1, QueryId::kQ4_1}, qopt);
+    report.AddSection("probe_tune_trace", TuneTraceToJson(probe.search));
     KernelTuneOptions gopt;
     gopt.repetitions = 7;
     gopt.elements = 1 << 18;
@@ -118,6 +128,24 @@ int Main(int argc, char** argv) {
         [&] { voila_engine.Run(query); }, repetitions, &counters);
     const auto hybrid = bench::MeasureBest(
         [&] { hybrid_engine.Run(query); }, repetitions, &counters);
+    const std::pair<const char*, const bench::Measurement*> measured[] = {
+        {"scalar", &scalar},
+        {"simd", &simd},
+        {"voila", &voila},
+        {"hybrid", &hybrid}};
+    for (const auto& [engine, m] : measured) {
+      auto& row = report.AddResult();
+      row.Set("query", QueryName(query))
+          .Set("engine", engine)
+          .Set("ms", m->ms)
+          .Set("median_ms", m->median_ms);
+      if (m->perf.valid) {
+        row.Set("instructions", m->perf.instructions)
+            .Set("ipc", m->perf.Ipc())
+            .Set("llc_misses", m->perf.llc_misses)
+            .Set("pmu_scaled", m->perf.scaled);
+      }
+    }
     table.AddRow({QueryName(query), TextTable::Num(scalar.ms, 1),
                   TextTable::Num(simd.ms, 1), TextTable::Num(voila.ms, 1),
                   TextTable::Num(hybrid.ms, 1),
@@ -133,6 +161,17 @@ int Main(int argc, char** argv) {
       "Paper shape (Figs. 8-10): HEF <= both pure flavours everywhere; "
       "HEF beats Voila at low selectivity (Q2.1, Q3.1, Q4.1/4.2), Voila "
       "competitive at very high selectivity (Q2.3, Q3.3, Q3.4).\n");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    report.IncludeMetrics();
+    const Status ws = report.WriteFile(json_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -17,9 +17,11 @@
 #include "engine/primitives.h"
 #include "table/bloom_filter.h"
 #include "table/probe.h"
+#include "telemetry/bench_report.h"
 #include "tuner/candidate_generator.h"
 #include "tuner/kernel_tuners.h"
 #include "tuner/search_space.h"
+#include "tuner/tune_trace.h"
 
 namespace hef {
 namespace {
@@ -28,6 +30,8 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   flags.AddInt64("elements", 1 << 15, "elements per tuning measurement");
   flags.AddInt64("repetitions", 5, "repetitions per tuning measurement");
+  flags.AddString("json", "",
+                  "write a hef-bench-v1 JSON report to this path");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -91,6 +95,10 @@ int Main(int argc, char** argv) {
       {"sum", TuneSumReduce(topt), ReduceSupportedConfigs().size(),
        SearchSpaceSize(2, 4, 4)},
   };
+  telemetry::BenchReport report("tuner_search");
+  report.SetConfig("elements",
+                   static_cast<std::int64_t>(topt.elements));
+  report.SetConfig("repetitions", topt.repetitions);
   for (const Tuned& row : rows) {
     const double pct = 100.0 * row.result.nodes_tested /
                        static_cast<double>(row.grid);
@@ -102,6 +110,18 @@ int Main(int argc, char** argv) {
                   TextTable::Num(pct, 0) + "%",
                   row.result.best.ToString(),
                   TextTable::Num(ms_per_m, 3)});
+    report.AddResult()
+        .Set("operator", row.name)
+        .Set("grid_size", static_cast<std::uint64_t>(row.grid))
+        .Set("eq2_space", row.eq2)
+        .Set("nodes_tested", static_cast<std::int64_t>(row.result.nodes_tested))
+        .Set("nodes_pruned", static_cast<std::int64_t>(row.result.nodes_pruned))
+        .Set("tested_pct", pct)
+        .Set("optimum", row.result.best.ToString())
+        .Set("ms_per_million", ms_per_m);
+    // The full winner/loser expansion tree of Algorithm 2, per operator.
+    report.AddSection(std::string(row.name) + "_tune_trace",
+                      TuneTraceToJson(row.result));
   }
   std::printf("Pruning search vs exhaustive (host measurements):\n%s\n",
               table.ToString().c_str());
@@ -109,6 +129,17 @@ int Main(int argc, char** argv) {
       "Paper shape: nodes tested is a small fraction of the space, and the "
       "optimum is a genuine hybrid/packed point for compute- and "
       "gather-bound operators.\n");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    report.IncludeMetrics();
+    const Status ws = report.WriteFile(json_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "hybrid/hybrid_grid.h"
+#include "telemetry/span.h"
 
 namespace hef {
 
@@ -59,6 +60,7 @@ using Crc64Grid = HybridGrid<Crc64Kernel, /*MaxV=*/8, /*MaxS=*/3,
 
 void Crc64Array(const HybridConfig& cfg, const std::uint64_t* in,
                 std::uint64_t* out, std::size_t n) {
+  HEF_TRACE_SPAN("algo.crc64_array");
   Crc64Kernel kernel;
   kernel.table = Crc64Table();
   Crc64Grid::Run(cfg, kernel, in, out, n);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "hybrid/hybrid_grid.h"
+#include "telemetry/span.h"
 
 namespace hef {
 
@@ -74,6 +75,7 @@ using MurmurGrid = HybridGrid<MurmurKernel, /*MaxV=*/2, /*MaxS=*/4,
 
 void MurmurHashArray(const HybridConfig& cfg, const std::uint64_t* in,
                      std::uint64_t* out, std::size_t n, std::uint64_t seed) {
+  HEF_TRACE_SPAN("algo.murmur_array");
   MurmurKernel kernel;
   kernel.seed = seed;
   MurmurGrid::Run(cfg, kernel, in, out, n);

@@ -1,12 +1,32 @@
 // Wall-clock measurement helpers for the benchmark harnesses.
+//
+// All timing in the repository reads CLOCK_MONOTONIC_RAW: unlike
+// CLOCK_MONOTONIC (what std::chrono::steady_clock uses on Linux) it is
+// not subject to NTP slewing, so microsecond-scale kernel measurements
+// are never stretched or compressed by clock discipline while a bench
+// runs. Telemetry spans use the same clock so spans and stopwatch
+// readings land on one timeline.
 
 #ifndef HEF_COMMON_STOPWATCH_H_
 #define HEF_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <ctime>
+
 #include <cstdint>
 
 namespace hef {
+
+// Nanoseconds on the CLOCK_MONOTONIC_RAW timeline.
+inline std::uint64_t MonotonicNanos() {
+  timespec ts;
+#ifdef CLOCK_MONOTONIC_RAW
+  clock_gettime(CLOCK_MONOTONIC_RAW, &ts);
+#else
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#endif
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
 
 // Monotonic nanosecond stopwatch. Start() resets, Elapsed*() reads without
 // stopping, so a single Stopwatch can bracket multiple phases.
@@ -14,14 +34,9 @@ class Stopwatch {
  public:
   Stopwatch() { Start(); }
 
-  void Start() { start_ = Clock::now(); }
+  void Start() { start_ = MonotonicNanos(); }
 
-  std::uint64_t ElapsedNanos() const {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start_)
-            .count());
-  }
+  std::uint64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
 
   double ElapsedMillis() const {
     return static_cast<double>(ElapsedNanos()) * 1e-6;
@@ -32,8 +47,7 @@ class Stopwatch {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ = 0;
 };
 
 // Prevents the compiler from optimizing away a computed value. Used to pin

@@ -6,14 +6,26 @@
 
 #include "common/aligned_buffer.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "engine/primitives.h"
 #include "engine/scan.h"
 #include "engine/star_plan.h"
+#include "perf/perf_counters.h"
 #include "table/bloom_filter.h"
 #include "table/group_agg.h"
 #include "table/probe.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace hef {
+
+namespace {
+
+std::uint64_t SaturatingDelta(std::uint64_t after, std::uint64_t before) {
+  return after > before ? after - before : 0;
+}
+
+}  // namespace
 
 struct SsbEngine::Impl {
   const ssb::SsbDatabase& db;
@@ -41,6 +53,33 @@ struct SsbEngine::Impl {
 
   // Buffers for the single-threaded path, built once per engine.
   Buffers main_buffers;
+
+  // One operator's accumulated statistics within a worker (merged across
+  // workers into QueryResult::operator_stats). Plain integers: each worker
+  // owns its own vector, so the hot-loop bumps need no atomics.
+  struct OpAcc {
+    std::uint64_t nanos = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t rows_in = 0;
+    std::uint64_t rows_out = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t llc_misses = 0;
+    bool pmu_valid = false;
+    bool pmu_scaled = false;
+
+    void Merge(const OpAcc& o) {
+      nanos += o.nanos;
+      calls += o.calls;
+      rows_in += o.rows_in;
+      rows_out += o.rows_out;
+      instructions += o.instructions;
+      cycles += o.cycles;
+      llc_misses += o.llc_misses;
+      pmu_valid = pmu_valid || o.pmu_valid;
+      pmu_scaled = pmu_scaled || o.pmu_scaled;
+    }
+  };
 
   Impl(const ssb::SsbDatabase& database, EngineConfig cfg)
       : db(database),
@@ -71,12 +110,21 @@ struct SsbEngine::Impl {
 
   // Runs the pipeline over fact rows [row_begin, row_end), accumulating
   // into the caller's agg/cnt arrays (sized plan.gid_domain).
+  //
+  // When `accs` is non-null, per-operator wall time / row counts are
+  // accumulated into it (layout: filters, then probes, then group-by); a
+  // non-null `pmu` additionally brackets every operator with group reads
+  // so counter deltas attribute to operators. Both null on the default
+  // path, which then pays nothing beyond a branch per operator per block.
   void ExecuteRange(const StarPlan& plan,
                     const std::vector<std::unique_ptr<BloomFilter>>& blooms,
                     Buffers& buf, std::size_t row_begin,
                     std::size_t row_end, std::vector<std::uint64_t>& agg,
                     std::vector<std::uint64_t>& cnt,
-                    std::uint64_t* qualifying_out) {
+                    std::uint64_t* qualifying_out,
+                    std::vector<OpAcc>* accs = nullptr,
+                    const PerfCounters* pmu = nullptr,
+                    telemetry::Histogram* block_rows_hist = nullptr) {
     const HybridConfig probe_cfg = config.ProbeConfig();
     const HybridConfig gather_cfg = config.GatherConfig();
     const Flavor flavor = config.flavor;
@@ -94,6 +142,46 @@ struct SsbEngine::Impl {
     auto& payloads = buf.payloads;
 
     std::uint64_t qualifying = 0;
+
+    // Operator-window bracketing. op_begin/op_end cost nothing (one
+    // predictable branch) when stats are off; with stats they read the
+    // monotonic clock, and with a PMU attached also snapshot the counter
+    // group, so deltas land on the operator that spent them.
+    const bool stats = accs != nullptr;
+    std::uint64_t op_t0 = 0;
+    PerfReading op_p0;
+    auto op_begin = [&] {
+      if (!stats) return;
+      if (pmu != nullptr) op_p0 = pmu->ReadNow();
+      op_t0 = MonotonicNanos();
+    };
+    // `count_call == false` folds the window's time into the operator
+    // without counting an activation or rows (used for shared tail work
+    // like the fused filters' bitmap-to-positions conversion).
+    auto op_end = [&](std::size_t idx, std::uint64_t in_rows,
+                      std::uint64_t out_rows, bool count_call = true) {
+      if (!stats) return;
+      OpAcc& a = (*accs)[idx];
+      a.nanos += MonotonicNanos() - op_t0;
+      if (count_call) {
+        ++a.calls;
+        a.rows_in += in_rows;
+        a.rows_out += out_rows;
+      }
+      if (pmu != nullptr) {
+        const PerfReading p1 = pmu->ReadNow();
+        if (p1.valid && op_p0.valid) {
+          a.instructions +=
+              SaturatingDelta(p1.instructions, op_p0.instructions);
+          a.cycles += SaturatingDelta(p1.cycles, op_p0.cycles);
+          a.llc_misses += SaturatingDelta(p1.llc_misses, op_p0.llc_misses);
+          a.pmu_valid = true;
+          a.pmu_scaled = a.pmu_scaled || p1.scaled;
+        }
+      }
+    };
+    const std::size_t probe_acc_base = plan.filters.size();
+    const std::size_t groupby_acc = probe_acc_base + plan.joins.size();
 
     // Payload slots probed so far in the current block (schema-order slot
     // ids; probe order may differ after the selectivity sort).
@@ -142,8 +230,10 @@ struct SsbEngine::Impl {
         // Filters precede joins in every plan, so the selection is still
         // the identity here and columns can be scanned in place.
         std::size_t live = 0;
+        std::size_t last_fi = 0;
         for (std::size_t fi = 0; fi < plan.filters.size(); ++fi) {
           const RangeFilter& f = plan.filters[fi];
+          op_begin();
           std::uint64_t* target =
               fi == 0 ? bitmap_a.data() : bitmap_b.data();
           live = ScanRangeBitmap(flavor, f.col->data() + b0, n, f.lo, f.hi,
@@ -151,26 +241,37 @@ struct SsbEngine::Impl {
           if (fi > 0) {
             live = BitmapAnd(bitmap_a.data(), bitmap_b.data(), n);
           }
+          op_end(fi, n, live);
+          last_fi = fi;
           if (live == 0) break;
         }
+        op_begin();
         const std::size_t m =
             live == 0 ? 0
                       : BitmapToPositions(bitmap_a.data(), n, pos.data());
         apply_selection(m);
+        op_end(last_fi, 0, 0, /*count_call=*/false);
       } else {
-        for (const RangeFilter& f : plan.filters) {
+        for (std::size_t fi = 0; fi < plan.filters.size(); ++fi) {
+          const RangeFilter& f = plan.filters[fi];
           if (n == 0) break;
+          op_begin();
           const std::uint64_t* v = fetch(*f.col, vals_a);
           const std::size_t m =
               CompactInRange(flavor, v, n, f.lo, f.hi, pos.data());
+          const std::size_t in_rows = n;
           apply_selection(m);
+          op_end(fi, in_rows, n);
         }
       }
 
-      // Join probes.
+      // Join probes. The Bloom pre-filter is part of its join's operator
+      // window — the stats row reports the stage's end-to-end cost.
       for (std::size_t ji = 0; ji < plan.joins.size(); ++ji) {
         const JoinStage& j = plan.joins[ji];
         if (n == 0) break;
+        op_begin();
+        const std::size_t in_rows = n;
         const std::uint64_t* k = fetch(*j.fact_key, keys);
         if (!blooms.empty()) {
           // Bloom pre-filter: discard definite misses before the (more
@@ -180,7 +281,10 @@ struct SsbEngine::Impl {
                                                 n, 1, 1, pos.data());
           if (bm != n) {
             apply_selection(bm);
-            if (n == 0) break;
+            if (n == 0) {
+              op_end(probe_acc_base + ji, in_rows, 0);
+              break;
+            }
             k = fetch(*j.fact_key, keys);
           }
         }
@@ -193,11 +297,14 @@ struct SsbEngine::Impl {
         if (m != n) {
           apply_selection(m);
         }
+        op_end(probe_acc_base + ji, in_rows, n);
       }
+      if (stats && block_rows_hist != nullptr) block_rows_hist->Observe(n);
       if (n == 0) continue;
       qualifying += n;
 
       // Measure columns.
+      op_begin();
       const std::uint64_t* va = fetch(*plan.value_a, vals_a);
       const std::uint64_t* vb = nullptr;
       if (plan.value_b != nullptr) {
@@ -255,13 +362,90 @@ struct SsbEngine::Impl {
           cnt[g] += 1;
         }
       }
+      op_end(groupby_acc, n, n);
     }
     *qualifying_out = qualifying;
   }
 
+  // Converts merged accumulators into named OperatorStats rows and feeds
+  // the process-wide metrics registry (query counters, per-join
+  // selectivity gauges, hash-table displacement histogram).
+  void FillOperatorStats(const StarPlan& plan,
+                         const std::vector<OpAcc>& accs,
+                         std::uint64_t bloom_nanos, std::uint64_t total,
+                         std::uint64_t qualifying,
+                         QueryResult* result) const {
+    const ssb::LineorderFact& lo = db.lineorder;
+    auto to_stats = [](const std::string& name, const OpAcc& a) {
+      OperatorStats s;
+      s.name = name;
+      s.wall_nanos = a.nanos;
+      s.invocations = a.calls;
+      s.rows_in = a.rows_in;
+      s.rows_out = a.rows_out;
+      s.perf.valid = a.pmu_valid;
+      s.perf.instructions = a.instructions;
+      s.perf.cycles = a.cycles;
+      s.perf.llc_misses = a.llc_misses;
+      s.perf.scaled = a.pmu_scaled;
+      s.perf.elapsed_seconds = static_cast<double>(a.nanos) * 1e-9;
+      return s;
+    };
+
+    auto& ops = result->operator_stats;
+    ops.reserve(accs.size() + 1);
+    if (bloom_nanos > 0) {
+      OperatorStats s;
+      s.name = "build.bloom";
+      s.wall_nanos = bloom_nanos;
+      s.invocations = 1;
+      ops.push_back(std::move(s));
+    }
+    std::size_t idx = 0;
+    for (const RangeFilter& f : plan.filters) {
+      ops.push_back(to_stats(
+          std::string("filter.") + FactColumnName(lo, f.col), accs[idx]));
+      ++idx;
+    }
+    auto& registry = telemetry::MetricsRegistry::Get();
+    for (const JoinStage& j : plan.joins) {
+      const std::string name =
+          std::string("probe.") + FactColumnName(lo, j.fact_key);
+      ops.push_back(to_stats(name, accs[idx]));
+      registry.gauge("engine.selectivity." + name)
+          .Set(ops.back().Selectivity());
+      ++idx;
+    }
+    ops.push_back(to_stats("groupby", accs[idx]));
+
+    registry.counter("engine.queries").Increment();
+    registry.counter("engine.rows_scanned").Increment(total);
+    registry.counter("engine.rows_qualifying").Increment(qualifying);
+
+    // Linear-probe displacement of every occupied dimension slot — the
+    // probe-chain length distribution vector probes traverse.
+    telemetry::Histogram& probe_hist =
+        registry.histogram("table.probe_length");
+    for (const JoinStage& j : plan.joins) {
+      const LinearHashTable& t = *j.table;
+      for (std::uint64_t slot = 0; slot <= t.mask(); ++slot) {
+        const std::uint64_t key = t.keys()[slot];
+        if (key == kEmptyKey) continue;
+        probe_hist.Observe((slot - t.HomeSlot(key)) & t.mask());
+      }
+    }
+  }
+
   QueryResult ExecutePlan(const StarPlan& plan) {
-    const std::vector<std::unique_ptr<BloomFilter>> blooms =
-        BuildBlooms(plan);
+    const bool stats = config.collect_stats;
+    std::uint64_t bloom_nanos = 0;
+    std::vector<std::unique_ptr<BloomFilter>> blooms;
+    {
+      HEF_TRACE_SPAN("engine.bloom_build");
+      const std::uint64_t t0 = stats ? MonotonicNanos() : 0;
+      blooms = BuildBlooms(plan);
+      if (stats && !blooms.empty()) bloom_nanos = MonotonicNanos() - t0;
+    }
     const std::size_t total = db.lineorder.n;
     const auto block = static_cast<std::size_t>(config.block_size);
 
@@ -269,12 +453,34 @@ struct SsbEngine::Impl {
     std::vector<std::uint64_t> cnt(plan.gid_domain, 0);
     std::uint64_t qualifying = 0;
 
+    const std::size_t n_ops = plan.filters.size() + plan.joins.size() + 1;
+    std::vector<OpAcc> accs;
+    telemetry::Histogram* block_hist = nullptr;
+    if (stats) {
+      accs.resize(n_ops);
+      block_hist = &telemetry::MetricsRegistry::Get().histogram(
+          "engine.block_qualifying_rows");
+    }
+
     const int threads = std::min<int>(
         config.threads,
         static_cast<int>((total + block - 1) / block));
     if (threads <= 1) {
+      HEF_TRACE_SPAN("engine.pipeline");
+      // perf fds count the opening thread, so the single-threaded path
+      // opens its group here and workers open their own below.
+      std::unique_ptr<PerfCounters> pmu;
+      if (stats && config.collect_pmu) {
+        pmu = std::make_unique<PerfCounters>();
+        if (pmu->available()) {
+          pmu->Start();
+        } else {
+          pmu.reset();
+        }
+      }
       ExecuteRange(plan, blooms, main_buffers, 0, total, agg, cnt,
-                   &qualifying);
+                   &qualifying, stats ? &accs : nullptr, pmu.get(),
+                   block_hist);
     } else {
       // Morsel parallelism: contiguous block-aligned row ranges, one
       // worker each, private accumulators merged at the end (group sums
@@ -287,6 +493,8 @@ struct SsbEngine::Impl {
       std::vector<std::vector<std::uint64_t>> worker_cnt(
           threads, std::vector<std::uint64_t>(plan.gid_domain, 0));
       std::vector<std::uint64_t> worker_qualifying(threads, 0);
+      std::vector<std::vector<OpAcc>> worker_accs(
+          threads, std::vector<OpAcc>(stats ? n_ops : 0));
       std::vector<std::thread> workers;
       workers.reserve(threads);
       for (int t = 0; t < threads; ++t) {
@@ -295,9 +503,23 @@ struct SsbEngine::Impl {
         const std::size_t end =
             std::min(total, (t + 1) * blocks_per_worker * block);
         workers.emplace_back([&, t, begin, end] {
+          HEF_TRACE_SPAN("engine.worker");
           Buffers buffers(block);
+          // Each worker opens its own counter group: perf fds opened with
+          // pid=0 follow the opening thread only.
+          std::unique_ptr<PerfCounters> pmu;
+          if (stats && config.collect_pmu) {
+            pmu = std::make_unique<PerfCounters>();
+            if (pmu->available()) {
+              pmu->Start();
+            } else {
+              pmu.reset();
+            }
+          }
           ExecuteRange(plan, blooms, buffers, begin, end, worker_agg[t],
-                       worker_cnt[t], &worker_qualifying[t]);
+                       worker_cnt[t], &worker_qualifying[t],
+                       stats ? &worker_accs[t] : nullptr, pmu.get(),
+                       block_hist);
         });
       }
       for (std::thread& w : workers) w.join();
@@ -307,11 +529,20 @@ struct SsbEngine::Impl {
           agg[g] += worker_agg[t][g];
           cnt[g] += worker_cnt[t][g];
         }
+        if (stats) {
+          for (std::size_t i = 0; i < n_ops; ++i) {
+            accs[i].Merge(worker_accs[t][i]);
+          }
+        }
       }
     }
 
     QueryResult result;
     result.qualifying_rows = qualifying;
+    if (stats) {
+      FillOperatorStats(plan, accs, bloom_nanos, total, qualifying,
+                        &result);
+    }
     for (std::size_t g = 0; g < plan.gid_domain; ++g) {
       if (cnt[g] == 0) continue;
       GroupRow row;
@@ -332,8 +563,51 @@ SsbEngine::~SsbEngine() = default;
 const EngineConfig& SsbEngine::config() const { return impl_->config; }
 
 QueryResult SsbEngine::Run(QueryId id) {
-  const BoundPlan bound = BuildQueryPlan(impl_->db, id);
-  return impl_->ExecutePlan(bound.plan);
+  HEF_TRACE_SPAN("engine.query");
+  const bool stats = impl_->config.collect_stats;
+
+  OperatorStats build;
+  std::unique_ptr<PerfCounters> pmu;
+  std::uint64_t t0 = 0;
+  if (stats) {
+    build.name = "build";
+    if (impl_->config.collect_pmu) {
+      pmu = std::make_unique<PerfCounters>();
+      if (pmu->available()) {
+        pmu->Start();
+      } else {
+        pmu.reset();
+      }
+    }
+    t0 = MonotonicNanos();
+  }
+
+  BoundPlan bound;
+  {
+    HEF_TRACE_SPAN("engine.build");
+    bound = BuildQueryPlan(impl_->db, id);
+  }
+
+  if (stats) {
+    build.wall_nanos = MonotonicNanos() - t0;
+    build.invocations = 1;
+    for (const auto& table : bound.tables) {
+      build.rows_in += table->size();
+      build.rows_out += table->size();
+    }
+    if (pmu != nullptr) {
+      build.perf = pmu->Stop();
+      build.perf.elapsed_seconds =
+          static_cast<double>(build.wall_nanos) * 1e-9;
+    }
+  }
+
+  QueryResult result = impl_->ExecutePlan(bound.plan);
+  if (stats) {
+    result.operator_stats.insert(result.operator_stats.begin(),
+                                 std::move(build));
+  }
+  return result;
 }
 
 }  // namespace hef

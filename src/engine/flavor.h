@@ -50,6 +50,16 @@ struct EngineConfig {
   // conflict detection instead of the scalar loop (related work [18]/[31]
   // style). Scalar-flavour engines ignore this.
   bool vectorized_agg = false;
+  // Collect per-operator statistics (wall time, row counts, selectivity)
+  // into QueryResult::operator_stats. Adds two clock reads per operator
+  // per block, so it is off by default and benchmark timings should keep
+  // it off.
+  bool collect_stats = false;
+  // Additionally attribute PMU deltas (instructions / cycles / LLC
+  // misses) to each operator via one group read(2) per operator boundary.
+  // Only meaningful with collect_stats; silently degrades to wall-clock
+  // stats when the PMU is unavailable.
+  bool collect_pmu = false;
   // Worker threads for the fact scan (morsel parallelism over blocks).
   // The paper measures per-core behaviour, so benchmarks default to 1;
   // results are bit-identical for any thread count (group sums are

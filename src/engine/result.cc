@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "telemetry/json_writer.h"
+
 namespace hef {
 
 std::string QueryResult::ToString() const {
@@ -16,6 +18,60 @@ std::string QueryResult::ToString() const {
     out += buf;
   }
   return out;
+}
+
+std::string QueryResult::StatsToString() const {
+  if (operator_stats.empty()) return std::string();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-20s %10s %8s %12s %12s %6s %12s %6s %s\n",
+                "operator", "ms", "calls", "rows_in", "rows_out", "sel%",
+                "instr", "ipc", "llc_miss");
+  out += buf;
+  for (const OperatorStats& s : operator_stats) {
+    std::snprintf(buf, sizeof(buf), "%-20s %10.3f %8llu %12llu %12llu %6.1f",
+                  s.name.c_str(), static_cast<double>(s.wall_nanos) * 1e-6,
+                  static_cast<unsigned long long>(s.invocations),
+                  static_cast<unsigned long long>(s.rows_in),
+                  static_cast<unsigned long long>(s.rows_out),
+                  s.Selectivity() * 100.0);
+    out += buf;
+    if (s.perf.valid) {
+      std::snprintf(buf, sizeof(buf), " %12llu %6.2f %llu%s\n",
+                    static_cast<unsigned long long>(s.perf.instructions),
+                    s.perf.Ipc(),
+                    static_cast<unsigned long long>(s.perf.llc_misses),
+                    s.perf.scaled ? " (scaled)" : "");
+    } else {
+      std::snprintf(buf, sizeof(buf), " %12s %6s %s\n", "n/a", "n/a", "n/a");
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string OperatorStatsToJson(const std::vector<OperatorStats>& stats) {
+  telemetry::JsonWriter w;
+  w.BeginArray();
+  for (const OperatorStats& s : stats) {
+    w.BeginObject();
+    w.Key("name").String(s.name);
+    w.Key("ms").Double(static_cast<double>(s.wall_nanos) * 1e-6);
+    w.Key("invocations").UInt(s.invocations);
+    w.Key("rows_in").UInt(s.rows_in);
+    w.Key("rows_out").UInt(s.rows_out);
+    w.Key("selectivity").Double(s.Selectivity());
+    if (s.perf.valid) {
+      w.Key("instructions").UInt(s.perf.instructions);
+      w.Key("cycles").UInt(s.perf.cycles);
+      w.Key("ipc").Double(s.perf.Ipc());
+      w.Key("llc_misses").UInt(s.perf.llc_misses);
+      w.Key("pmu_scaled").Bool(s.perf.scaled);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.Take();
 }
 
 }  // namespace hef

@@ -10,7 +10,31 @@
 #include <string>
 #include <vector>
 
+#include "perf/perf_counters.h"
+
 namespace hef {
+
+// Per-operator execution statistics, collected when
+// EngineConfig::collect_stats is set. One entry per pipeline stage in
+// execution order: the dimension build, each range filter, each join
+// probe (bloom pre-filter included), and the group-by accumulate.
+struct OperatorStats {
+  std::string name;               // e.g. "filter.discount", "probe.partkey"
+  std::uint64_t wall_nanos = 0;   // summed across blocks and workers
+  std::uint64_t invocations = 0;  // block-level activations
+  std::uint64_t rows_in = 0;
+  std::uint64_t rows_out = 0;
+  // PMU deltas attributed to this operator (collect_pmu); valid == false
+  // when the PMU is unavailable.
+  PerfReading perf;
+
+  // Fraction of input rows surviving this operator; 1 when no rows seen.
+  double Selectivity() const {
+    return rows_in == 0 ? 1.0
+                        : static_cast<double>(rows_out) /
+                              static_cast<double>(rows_in);
+  }
+};
 
 // One output group: up to three group-by key attributes (unused slots are
 // zero) and the aggregated value. Q1.x produce a single row with no keys.
@@ -29,6 +53,8 @@ struct QueryResult {
   std::vector<GroupRow> rows;
   // Fact rows that survived all predicates/joins (for selectivity checks).
   std::uint64_t qualifying_rows = 0;
+  // Per-operator breakdown; empty unless EngineConfig::collect_stats.
+  std::vector<OperatorStats> operator_stats;
 
   std::uint64_t TotalValue() const {
     std::uint64_t total = 0;
@@ -40,7 +66,17 @@ struct QueryResult {
 
   // Debug rendering: one "k1 k2 k3 -> value" line per row.
   std::string ToString() const;
+
+  // Aligned per-operator table (wall time, rows, selectivity, PMU columns
+  // when valid); empty string when no stats were collected.
+  std::string StatsToString() const;
 };
+
+// JSON array of operator rows: [{"name":..,"ms":..,"invocations":..,
+// "rows_in":..,"rows_out":..,"selectivity":..}, ...] with
+// instructions/ipc/llc_misses/pmu_scaled added when the PMU reading is
+// valid. Shared by `tools/hef query --json` and the bench reports.
+std::string OperatorStatsToJson(const std::vector<OperatorStats>& stats);
 
 }  // namespace hef
 

@@ -423,6 +423,20 @@ std::size_t FkDomain(const SsbDatabase& db, const JoinStage& join) {
 
 }  // namespace
 
+const char* FactColumnName(const ssb::LineorderFact& lo,
+                           const ssb::Column* col) {
+  if (col == &lo.orderdate) return "orderdate";
+  if (col == &lo.custkey) return "custkey";
+  if (col == &lo.suppkey) return "suppkey";
+  if (col == &lo.partkey) return "partkey";
+  if (col == &lo.quantity) return "quantity";
+  if (col == &lo.discount) return "discount";
+  if (col == &lo.extendedprice) return "extendedprice";
+  if (col == &lo.revenue) return "revenue";
+  if (col == &lo.supplycost) return "supplycost";
+  return "column";
+}
+
 BoundPlan BuildQueryPlan(const SsbDatabase& db, QueryId id) {
   BoundPlan bound = BuildQueryPlanUnordered(db, id);
   // Fix payload slots to schema order before any reordering: the plan's

@@ -65,6 +65,12 @@ struct BoundPlan {
   StarPlan plan;
 };
 
+// Stats/trace label for a lineorder column ("discount", "partkey", ...);
+// "column" for pointers outside the fact table. Used to name operator
+// rows like "filter.discount" and "probe.partkey".
+const char* FactColumnName(const ssb::LineorderFact& lo,
+                           const ssb::Column* col);
+
 // Builds the plan (including filtered dimension hash tables — the join
 // build phase) for one SSB query. Join stages are ordered most selective
 // first using the estimated selectivities (stable sort, so equal-estimate

@@ -6,12 +6,23 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
+#include <cmath>
 #include <cstring>
+
+#include "common/stopwatch.h"
 
 namespace hef {
 
 namespace {
+
+// Group read layout for
+// PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING.
+struct GroupReadBuffer {
+  std::uint64_t nr = 0;
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  std::uint64_t values[3] = {0, 0, 0};
+};
 
 long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
                    unsigned long flags) {
@@ -27,23 +38,23 @@ int OpenCounter(std::uint32_t type, std::uint64_t config, int group_fd) {
   attr.disabled = group_fd == -1 ? 1 : 0;
   attr.exclude_kernel = 1;
   attr.exclude_hv = 1;
+  // The whole group is read through the leader, with enabled/running
+  // times so multiplexed windows can be scaled instead of silently
+  // under-reported.
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
   return static_cast<int>(
       PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, /*flags=*/0));
 }
 
-std::uint64_t NowNanos() {
+// Extrapolates a raw count over the unscheduled fraction of the window.
+std::uint64_t Scale(std::uint64_t raw, std::uint64_t enabled,
+                    std::uint64_t running) {
+  if (running == 0 || running >= enabled) return raw;
+  const double factor = static_cast<double>(enabled) /
+                        static_cast<double>(running);
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-std::uint64_t ReadCounter(int fd) {
-  std::uint64_t value = 0;
-  if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value)) {
-    value = 0;
-  }
-  return value;
+      std::llround(static_cast<double>(raw) * factor));
 }
 
 }  // namespace
@@ -56,11 +67,18 @@ PerfCounters::PerfCounters() {
              " (PMU unavailable; counter columns will report n/a)";
     return;
   }
+  n_values_ = 1;
   cycles_fd_ =
       OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, group_fd_);
+  if (cycles_fd_ >= 0) {
+    cycles_index_ = n_values_++;
+  }
   // LLC misses are optional — some PMUs expose instructions/cycles only.
   llc_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES,
                         group_fd_);
+  if (llc_fd_ >= 0) {
+    llc_index_ = n_values_++;
+  }
 }
 
 PerfCounters::~PerfCounters() {
@@ -70,23 +88,53 @@ PerfCounters::~PerfCounters() {
 }
 
 void PerfCounters::Start() {
-  start_nanos_ = NowNanos();
+  start_nanos_ = MonotonicNanos();
   if (group_fd_ < 0) return;
   ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
   ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
 }
 
-PerfReading PerfCounters::Stop() {
+PerfReading PerfCounters::ReadGroup() const {
   PerfReading r;
   r.elapsed_seconds =
-      static_cast<double>(NowNanos() - start_nanos_) * 1e-9;
+      static_cast<double>(MonotonicNanos() - start_nanos_) * 1e-9;
   if (group_fd_ < 0) return r;
-  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
-  r.instructions = ReadCounter(group_fd_);
-  r.cycles = ReadCounter(cycles_fd_);
-  r.llc_misses = ReadCounter(llc_fd_);
-  r.valid = r.instructions > 0 && r.cycles > 0;
+
+  GroupReadBuffer buf;
+  const std::size_t want =
+      sizeof(std::uint64_t) * (3 + static_cast<std::size_t>(n_values_));
+  const ssize_t got = read(group_fd_, &buf, sizeof(buf));
+  if (got < static_cast<ssize_t>(want) ||
+      buf.nr != static_cast<std::uint64_t>(n_values_)) {
+    return r;
+  }
+
+  r.instructions = Scale(buf.values[0], buf.time_enabled, buf.time_running);
+  if (cycles_index_ >= 0) {
+    r.cycles =
+        Scale(buf.values[cycles_index_], buf.time_enabled, buf.time_running);
+  }
+  if (llc_index_ >= 0) {
+    r.llc_misses =
+        Scale(buf.values[llc_index_], buf.time_enabled, buf.time_running);
+  }
+  r.scaled = buf.time_running < buf.time_enabled;
+  r.running_fraction =
+      buf.time_enabled == 0
+          ? 0.0
+          : static_cast<double>(buf.time_running) /
+                static_cast<double>(buf.time_enabled);
+  r.valid = buf.time_running > 0 && r.instructions > 0 && r.cycles > 0;
   return r;
+}
+
+PerfReading PerfCounters::ReadNow() const { return ReadGroup(); }
+
+PerfReading PerfCounters::Stop() {
+  if (group_fd_ >= 0) {
+    ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  }
+  return ReadGroup();
 }
 
 }  // namespace hef

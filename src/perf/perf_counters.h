@@ -7,6 +7,14 @@
 // read reports `valid = false` and the harnesses print "n/a" for PMU
 // columns while keeping wall-clock results — measurement must degrade, not
 // fail.
+//
+// Multiplexing: when more events are programmed on a core than it has
+// hardware counters, the kernel time-slices them and a naive read
+// under-reports. The counters here are read with
+// PERF_FORMAT_TOTAL_TIME_ENABLED|RUNNING and every value is scaled by
+// enabled/running; readings taken under multiplexing carry
+// `scaled == true` and their `running_fraction` so downstream consumers
+// can tell an extrapolated count from an exact one.
 
 #ifndef HEF_PERF_PERF_COUNTERS_H_
 #define HEF_PERF_PERF_COUNTERS_H_
@@ -25,6 +33,12 @@ struct PerfReading {
   std::uint64_t cycles = 0;
   std::uint64_t llc_misses = 0;
   double elapsed_seconds = 0;   // wall clock, always valid
+  // True when the counter group was multiplexed during the window and the
+  // counts above are extrapolated (raw * enabled/running).
+  bool scaled = false;
+  // time_running / time_enabled over the window; 1.0 when the group owned
+  // its hardware counters for the whole window, 0 when invalid.
+  double running_fraction = 0.0;
 
   // Instructions per cycle; 0 when invalid.
   double Ipc() const {
@@ -49,6 +63,10 @@ struct PerfReading {
 //
 // Start()/Stop() pairs may be reused. If perf_event_open fails the object
 // stays usable and Stop() returns readings with valid == false.
+//
+// ReadNow() samples the running group without stopping it (one read(2) of
+// the whole group), so telemetry can attribute counter deltas to
+// sub-windows — e.g. per-operator PMU columns in the engine.
 class PerfCounters {
  public:
   PerfCounters();
@@ -63,10 +81,19 @@ class PerfCounters {
   void Start();
   PerfReading Stop();
 
+  // Scaled totals since Start() while the group keeps running. Deltas of
+  // two ReadNow() results bracket a sub-window.
+  PerfReading ReadNow() const;
+
  private:
+  PerfReading ReadGroup() const;
+
   int group_fd_ = -1;   // leader: instructions
   int cycles_fd_ = -1;
   int llc_fd_ = -1;
+  int cycles_index_ = -1;  // position in the group read's value array
+  int llc_index_ = -1;
+  int n_values_ = 0;
   std::string error_;
   std::uint64_t start_nanos_ = 0;
 };

@@ -1,0 +1,172 @@
+#include "telemetry/bench_report.h"
+
+#include <cstdio>
+
+#include "telemetry/json_writer.h"
+
+namespace hef::telemetry {
+
+namespace {
+
+void WriteValue(JsonWriter& w, const BenchReport::Value& v) {
+  using Kind = BenchReport::Value::Kind;
+  switch (v.kind) {
+    case Kind::kString:
+      w.String(v.s);
+      break;
+    case Kind::kDouble:
+      w.Double(v.d);
+      break;
+    case Kind::kInt:
+      w.Int(v.i);
+      break;
+    case Kind::kUInt:
+      w.UInt(v.u);
+      break;
+    case Kind::kBool:
+      w.Bool(v.b);
+      break;
+  }
+}
+
+void WriteRow(JsonWriter& w,
+              const std::vector<std::pair<std::string, BenchReport::Value>>&
+                  cells) {
+  w.BeginObject();
+  for (const auto& [key, value] : cells) {
+    w.Key(key);
+    WriteValue(w, value);
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+BenchReport::Row& BenchReport::Row::Set(const std::string& key,
+                                        const std::string& value) {
+  Value v;
+  v.kind = Value::Kind::kString;
+  v.s = value;
+  cells_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Set(const std::string& key,
+                                        const char* value) {
+  return Set(key, std::string(value));
+}
+
+BenchReport::Row& BenchReport::Row::Set(const std::string& key,
+                                        double value) {
+  Value v;
+  v.kind = Value::Kind::kDouble;
+  v.d = value;
+  cells_.emplace_back(key, v);
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Set(const std::string& key,
+                                        std::int64_t value) {
+  Value v;
+  v.kind = Value::Kind::kInt;
+  v.i = value;
+  cells_.emplace_back(key, v);
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Set(const std::string& key,
+                                        std::uint64_t value) {
+  Value v;
+  v.kind = Value::Kind::kUInt;
+  v.u = value;
+  cells_.emplace_back(key, v);
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Set(const std::string& key, int value) {
+  return Set(key, static_cast<std::int64_t>(value));
+}
+
+BenchReport::Row& BenchReport::Row::Set(const std::string& key, bool value) {
+  Value v;
+  v.kind = Value::Kind::kBool;
+  v.b = value;
+  cells_.emplace_back(key, v);
+  return *this;
+}
+
+void BenchReport::SetConfig(const std::string& key,
+                            const std::string& value) {
+  config_.Set(key, value);
+}
+void BenchReport::SetConfig(const std::string& key, const char* value) {
+  config_.Set(key, value);
+}
+void BenchReport::SetConfig(const std::string& key, double value) {
+  config_.Set(key, value);
+}
+void BenchReport::SetConfig(const std::string& key, std::int64_t value) {
+  config_.Set(key, value);
+}
+void BenchReport::SetConfig(const std::string& key, int value) {
+  config_.Set(key, value);
+}
+void BenchReport::SetConfig(const std::string& key, bool value) {
+  config_.Set(key, value);
+}
+
+BenchReport::Row& BenchReport::AddResult() {
+  results_.emplace_back();
+  return results_.back();
+}
+
+void BenchReport::AddSection(const std::string& key, std::string raw_json) {
+  sections_.emplace_back(key, std::move(raw_json));
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(kBenchSchemaVersion);
+  w.Key("bench").String(bench_name_);
+  w.Key("config");
+  WriteRow(w, config_.cells_);
+  w.Key("results").BeginArray();
+  for (const Row& row : results_) {
+    WriteRow(w, row.cells_);
+  }
+  w.EndArray();
+  w.Key("sections").BeginObject();
+  for (const auto& [key, json] : sections_) {
+    w.Key(key).Raw(json);
+  }
+  w.EndObject();
+  w.Key("metrics");
+  if (include_metrics_) {
+    w.Raw(MetricsRegistry::Get().ToJson());
+  } else {
+    w.BeginObject().EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open report file '" + path + "'");
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to report file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace hef::telemetry

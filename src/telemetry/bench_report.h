@@ -1,0 +1,97 @@
+// BenchReport — the one machine-readable result schema shared by every
+// benchmark harness and the CLI ("hef-bench-v1").
+//
+// Document shape (all six top-level keys are always present, so
+// downstream diffing never branches on optional structure):
+//
+//   {
+//     "schema":  "hef-bench-v1",
+//     "bench":   "<harness name>",
+//     "config":  { flag -> value },
+//     "results": [ { column -> value }, ... ],
+//     "sections":{ name -> arbitrary JSON (e.g. a tuner trace) },
+//     "metrics": { the MetricsRegistry dump, or {} }
+//   }
+//
+// Rows are ordered as added; cell order within a row is the insertion
+// order, so reports are byte-deterministic given deterministic inputs
+// (the golden schema test relies on this).
+
+#ifndef HEF_TELEMETRY_BENCH_REPORT_H_
+#define HEF_TELEMETRY_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+
+namespace hef::telemetry {
+
+inline constexpr const char* kBenchSchemaVersion = "hef-bench-v1";
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  // One key/value cell. Kept as a tagged union so numbers stay numbers in
+  // the JSON output.
+  struct Value {
+    enum class Kind { kString, kDouble, kInt, kUInt, kBool };
+    Kind kind = Kind::kString;
+    std::string s;
+    double d = 0;
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    bool b = false;
+  };
+
+  class Row {
+   public:
+    Row& Set(const std::string& key, const std::string& value);
+    Row& Set(const std::string& key, const char* value);
+    Row& Set(const std::string& key, double value);
+    Row& Set(const std::string& key, std::int64_t value);
+    Row& Set(const std::string& key, std::uint64_t value);
+    Row& Set(const std::string& key, int value);
+    Row& Set(const std::string& key, bool value);
+
+   private:
+    friend class BenchReport;
+    std::vector<std::pair<std::string, Value>> cells_;
+  };
+
+  void SetConfig(const std::string& key, const std::string& value);
+  void SetConfig(const std::string& key, const char* value);
+  void SetConfig(const std::string& key, double value);
+  void SetConfig(const std::string& key, std::int64_t value);
+  void SetConfig(const std::string& key, int value);
+  void SetConfig(const std::string& key, bool value);
+
+  // Appends an empty result row; fill it through the returned reference
+  // before the next AddResult call (growth invalidates references).
+  Row& AddResult();
+
+  // Attaches a pre-rendered JSON value under "sections".<key> (e.g. the
+  // tuner's trace, a spans dump). Caller guarantees validity.
+  void AddSection(const std::string& key, std::string raw_json);
+
+  // Includes the process-wide metrics registry dump in the report.
+  void IncludeMetrics() { include_metrics_ = true; }
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  Row config_;
+  std::vector<Row> results_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+  bool include_metrics_ = false;
+};
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_BENCH_REPORT_H_

@@ -1,0 +1,53 @@
+// Minimal streaming JSON writer shared by every telemetry exporter (the
+// bench report schema, the metrics dump, the chrome://tracing trace-event
+// file). Deliberately tiny: objects/arrays with automatic comma handling
+// and correct string escaping — no DOM, no parsing. Writers that need
+// parsing (the schema test) use a purpose-built checker instead.
+
+#ifndef HEF_TELEMETRY_JSON_WRITER_H_
+#define HEF_TELEMETRY_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hef::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key inside an object; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& UInt(std::uint64_t value);
+  JsonWriter& Double(double value);  // NaN / Inf render as null
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices a pre-rendered JSON value verbatim (caller guarantees
+  // validity) — lets higher layers contribute sections without this
+  // writer knowing their shape.
+  JsonWriter& Raw(const std::string& json);
+
+  // Finishes the document and returns it. The writer is reset.
+  std::string Take();
+
+  static std::string Escape(const std::string& text);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once a value was written (so the
+  // next value needs a leading comma).
+  std::vector<bool> has_value_;
+};
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_JSON_WRITER_H_

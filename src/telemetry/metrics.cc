@@ -1,0 +1,127 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+
+#include "telemetry/json_writer.h"
+
+namespace hef::telemetry {
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) total += BucketCount(i);
+  return total;
+}
+
+double Histogram::Mean() const {
+  const std::uint64_t count = Count();
+  return count == 0 ? 0.0
+                    : static_cast<double>(Sum()) / static_cast<double>(count);
+}
+
+std::uint64_t Histogram::ApproxPercentile(double p) const {
+  const std::uint64_t count = Count();
+  if (count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen > 0 && seen >= target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(std::uint64_t value) {
+  return std::bit_width(value);  // 0 for value 0, else 1 + floor(log2)
+}
+
+std::uint64_t Histogram::BucketLowerBound(int i) {
+  HEF_DCHECK(i >= 0 && i < kBuckets);
+  return i == 0 ? 0 : 1ull << (i - 1);
+}
+
+std::uint64_t Histogram::BucketUpperBound(int i) {
+  HEF_DCHECK(i >= 0 && i < kBuckets);
+  if (i == 0) return 0;
+  if (i == 64) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w.Key(name).UInt(c->value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.Key(name).Double(g->value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(h->Count());
+    w.Key("sum").UInt(h->Sum());
+    w.Key("mean").Double(h->Mean());
+    w.Key("p50").UInt(h->ApproxPercentile(0.50));
+    w.Key("p99").UInt(h->ApproxPercentile(0.99));
+    w.Key("buckets").BeginArray();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t count = h->BucketCount(i);
+      if (count == 0) continue;
+      w.BeginObject();
+      w.Key("le").UInt(Histogram::BucketUpperBound(i));
+      w.Key("count").UInt(count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace hef::telemetry

@@ -1,0 +1,117 @@
+// Process-wide metrics registry: counters, gauges, and histograms with
+// fixed log-scale (power-of-two) buckets.
+//
+// Producers look a metric up once (the returned reference is stable for
+// the registry's lifetime) and bump it with relaxed atomics, so metrics
+// can live on warm paths: a counter increment is one lock-free add. The
+// registry itself is only locked during lookup and export.
+//
+// Naming convention (see docs/observability.md): dot-separated
+// "<subsystem>.<noun>[.<detail>]", e.g. "engine.rows_scanned",
+// "tuner.nodes_pruned", "table.probe_length".
+
+#ifndef HEF_TELEMETRY_METRICS_H_
+#define HEF_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+
+namespace hef::telemetry {
+
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Log-scale histogram over unsigned 64-bit samples. Bucket 0 holds the
+// value 0; bucket i (1 <= i <= 64) holds values in [2^(i-1), 2^i) — i.e.
+// a sample lands in the bucket indexed by its bit width. Fixed buckets
+// keep Observe() allocation-free and exports schema-stable.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void Observe(std::uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Count() const;
+  std::uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  std::uint64_t BucketCount(int i) const {
+    HEF_DCHECK(i >= 0 && i < kBuckets);
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Upper bound (inclusive) of the bucket where the cumulative count first
+  // reaches `p` (0 < p <= 1) of the total; 0 on an empty histogram.
+  std::uint64_t ApproxPercentile(double p) const;
+  void Reset();
+
+  static int BucketIndex(std::uint64_t value);
+  // Inclusive value range covered by bucket i.
+  static std::uint64_t BucketLowerBound(int i);
+  static std::uint64_t BucketUpperBound(int i);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// Named metric store. `Get()` is the process-wide instance; tests may
+// construct private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  HEF_DISALLOW_COPY_AND_ASSIGN(MetricsRegistry);
+
+  static MetricsRegistry& Get();
+
+  // Find-or-create; returned references remain valid for the registry's
+  // lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with names in
+  // lexicographic order (deterministic for golden tests).
+  std::string ToJson() const;
+
+  // Zeroes every metric (names stay registered). For benches and tests.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_METRICS_H_

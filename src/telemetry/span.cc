@@ -1,0 +1,117 @@
+#include "telemetry/span.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "telemetry/json_writer.h"
+
+namespace hef::telemetry {
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+thread_local std::uint32_t t_thread_id = ~0u;
+thread_local std::uint32_t t_depth = 0;
+
+}  // namespace
+
+SpanTracer& SpanTracer::Get() {
+  static SpanTracer* tracer = new SpanTracer();
+  return *tracer;
+}
+
+std::uint32_t SpanTracer::CurrentThreadId() {
+  if (t_thread_id == ~0u) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
+void SpanTracer::Record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> SpanTracer::Drain() {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(events_);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_nanos < b.start_nanos;
+                   });
+  return out;
+}
+
+std::size_t SpanTracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string SpanTracer::ToTraceEventJson(
+    const std::vector<SpanEvent>& events) {
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const SpanEvent& e : events) base = std::min(base, e.start_nanos);
+  if (events.empty()) base = 0;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ns");
+  w.Key("traceEvents").BeginArray();
+  for (const SpanEvent& e : events) {
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("cat").String("hef");
+    w.Key("ph").String("X");
+    w.Key("ts").Double(static_cast<double>(e.start_nanos - base) * 1e-3);
+    w.Key("dur").Double(static_cast<double>(e.duration_nanos) * 1e-3);
+    w.Key("pid").Int(1);
+    w.Key("tid").UInt(e.thread_id);
+    w.Key("args").BeginObject();
+    w.Key("depth").UInt(e.depth);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Status SpanTracer::WriteTraceFile(const std::string& path) {
+  const std::string json = ToTraceEventJson(Drain());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file '" + path + "'");
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void SpanScope::Begin(const char* name) {
+  active_ = true;
+  name_ = name;
+  depth_ = t_depth++;
+  start_ = MonotonicNanos();
+}
+
+void SpanScope::End() {
+  const std::uint64_t end = MonotonicNanos();
+  --t_depth;
+  SpanEvent event;
+  event.name = name_;
+  event.start_nanos = start_;
+  event.duration_nanos = end - start_;
+  event.thread_id = SpanTracer::CurrentThreadId();
+  event.depth = depth_;
+  SpanTracer::Get().Record(std::move(event));
+}
+
+}  // namespace hef::telemetry

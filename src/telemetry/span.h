@@ -1,0 +1,107 @@
+// Span tracing — decomposes a run into named, nested wall-clock scopes.
+//
+// The paper's analysis is per-operator (Tables III-IX attribute time and
+// micro-architectural events to individual kernels); the tracer provides
+// the substrate: any code can open a scope with HEF_TRACE_SPAN("name")
+// and, when tracing is enabled, the scope's start/duration/thread/depth
+// is recorded into a process-wide buffer that exports to the
+// chrome://tracing / Perfetto trace-event format.
+//
+// Cost model: when tracing is disabled (the default) a scope is one
+// relaxed atomic load and a predictable branch — cheap enough to leave in
+// engine code permanently. Per-*block* operator timing inside the engine
+// hot loop is NOT implemented with spans (it accumulates into plain
+// arrays, see engine.cc); spans mark phase boundaries: query runs, hash
+// builds, pipeline execution, tuner measurements.
+
+#ifndef HEF_TELEMETRY_SPAN_H_
+#define HEF_TELEMETRY_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hef::telemetry {
+
+// One closed scope.
+struct SpanEvent {
+  std::string name;
+  std::uint64_t start_nanos = 0;     // CLOCK_MONOTONIC_RAW
+  std::uint64_t duration_nanos = 0;
+  std::uint32_t thread_id = 0;       // dense per-process id (0 = first)
+  std::uint32_t depth = 0;           // nesting depth when opened
+};
+
+// Process-wide collector. All methods are thread-safe.
+class SpanTracer {
+ public:
+  static SpanTracer& Get();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Record(SpanEvent event);
+
+  // Removes and returns all recorded events, ordered by start time.
+  std::vector<SpanEvent> Drain();
+  std::size_t event_count() const;
+
+  // Renders events as a chrome://tracing / Perfetto trace-event JSON
+  // document ("X" complete events, microsecond timestamps relative to the
+  // earliest event).
+  static std::string ToTraceEventJson(const std::vector<SpanEvent>& events);
+
+  // Drains and writes the trace-event file.
+  Status WriteTraceFile(const std::string& path);
+
+  // Dense id of the calling thread (assigned on first use).
+  static std::uint32_t CurrentThreadId();
+
+ private:
+  SpanTracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+};
+
+// RAII scope. Inactive (no clock read, no allocation) unless the tracer
+// was enabled at construction time.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) {
+    if (HEF_UNLIKELY(SpanTracer::Get().enabled())) Begin(name);
+  }
+  ~SpanScope() {
+    if (HEF_UNLIKELY(active_)) End();
+  }
+  HEF_DISALLOW_COPY_AND_ASSIGN(SpanScope);
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace hef::telemetry
+
+#define HEF_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define HEF_TELEMETRY_CONCAT(a, b) HEF_TELEMETRY_CONCAT_INNER(a, b)
+
+// Opens a span covering the rest of the enclosing block.
+#define HEF_TRACE_SPAN(name)                                        \
+  ::hef::telemetry::SpanScope HEF_TELEMETRY_CONCAT(hef_trace_span_, \
+                                                   __LINE__)(name)
+
+#endif  // HEF_TELEMETRY_SPAN_H_

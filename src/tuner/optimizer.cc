@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/macros.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace hef {
 
@@ -29,19 +31,25 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
                 "initial candidate %s unsupported",
                 initial.ToString().c_str());
 
+  HEF_TRACE_SPAN("tuner.search");
   TuneResult result;
   std::map<HybridConfig, double> tested;
 
-  auto run = [&](const HybridConfig& cfg) {
+  auto run = [&](const HybridConfig& cfg, const HybridConfig& parent) {
+    HEF_TRACE_SPAN("tuner.measure");
     const double t = measure(cfg);
     tested[cfg] = t;
     ++result.nodes_tested;
     result.history.emplace_back(cfg, t);
+    // Classification is patched to `winner` by the caller when the node
+    // beats its expansion source.
+    result.trace.push_back(TuneStep{cfg, t, parent, /*winner=*/false});
     return t;
   };
 
   HybridConfig current = initial;
-  double current_time = run(current);
+  double current_time = run(current, current);
+  result.trace.back().winner = true;  // the root is always expanded
   result.best = current;
   result.best_time = current_time;
 
@@ -53,11 +61,14 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
     for (const HybridConfig& next : Neighbors(current)) {
       if (!next.valid() || !options.is_supported(next)) continue;
       if (tested.count(next) != 0) continue;
-      const double t = run(next);
+      const double t = run(next, current);
       if (t < current_time) {
+        result.trace.back().winner = true;
         candidates.emplace_back(next, t);  // winner
+      } else {
+        // Loser -> end list; its variants are pruned.
+        ++result.nodes_pruned;
       }
-      // else: loser -> end list; its variants are pruned.
     }
     if (candidates.empty()) break;
 
@@ -74,25 +85,43 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
       result.best_time = current_time;
     }
   }
+
+  auto& registry = telemetry::MetricsRegistry::Get();
+  registry.counter("tuner.nodes_tested")
+      .Increment(static_cast<std::uint64_t>(result.nodes_tested));
+  registry.counter("tuner.nodes_pruned")
+      .Increment(static_cast<std::uint64_t>(result.nodes_pruned));
   return result;
 }
 
 TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
                           const MeasureFn& measure) {
   HEF_CHECK_MSG(!space.empty(), "empty search space");
+  HEF_TRACE_SPAN("tuner.exhaustive");
   TuneResult result;
   bool first = true;
   for (const HybridConfig& cfg : space) {
     if (!cfg.valid()) continue;
-    const double t = measure(cfg);
+    double t;
+    {
+      HEF_TRACE_SPAN("tuner.measure");
+      t = measure(cfg);
+    }
     ++result.nodes_tested;
     result.history.emplace_back(cfg, t);
-    if (first || t < result.best_time) {
+    // Exhaustive search has no expansion tree; every node is its own
+    // parent and "winner" marks new running optima.
+    const bool improved = first || t < result.best_time;
+    result.trace.push_back(TuneStep{cfg, t, cfg, improved});
+    if (improved) {
       result.best = cfg;
       result.best_time = t;
       first = false;
     }
   }
+  telemetry::MetricsRegistry::Get()
+      .counter("tuner.nodes_tested")
+      .Increment(static_cast<std::uint64_t>(result.nodes_tested));
   return result;
 }
 

@@ -39,13 +39,30 @@ struct TuneOptions {
   int max_measurements = 1000;
 };
 
+// One measurement in the search trace. The steps, in test order, encode
+// the full expansion tree of Algorithm 2: every node carries the node it
+// was generated from and whether it entered the candidate list (winner)
+// or was pruned (loser — its own variants are never generated).
+struct TuneStep {
+  HybridConfig config{1, 0, 1};
+  double seconds = 0;
+  // Expansion source; equals `config` for the search root.
+  HybridConfig parent{1, 0, 1};
+  bool winner = false;
+};
+
 struct TuneResult {
   HybridConfig best{1, 0, 1};
   double best_time = 0;
   // Nodes actually generated + measured — the cost the pruning saves.
   int nodes_tested = 0;
+  // Losers: measured but never expanded (Algorithm 2's end list).
+  int nodes_pruned = 0;
   // Measurement log in test order (config, seconds).
   std::vector<std::pair<HybridConfig, double>> history;
+  // Measurement log with parent/winner classification (same order as
+  // `history`); exported by TuneTraceToJson.
+  std::vector<TuneStep> trace;
 };
 
 // Runs the pruning search from `initial` (typically the candidate

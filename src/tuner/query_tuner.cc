@@ -46,12 +46,13 @@ QueryTuneResult TuneQueriesProbe(const ssb::SsbDatabase& db,
 
   TuneOptions tune;
   tune.is_supported = supported;
-  const TuneResult r = Tune(initial, measure, tune);
+  TuneResult r = Tune(initial, measure, tune);
 
   QueryTuneResult out;
   out.probe = r.best;
   out.best_seconds = r.best_time;
   out.nodes_tested = r.nodes_tested;
+  out.search = std::move(r);
   return out;
 }
 

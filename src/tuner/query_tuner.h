@@ -36,6 +36,9 @@ struct QueryTuneResult {
   HybridConfig probe{1, 0, 1};
   double best_seconds = 0;
   int nodes_tested = 0;
+  // Full search log (history + winner/loser trace, see TuneResult); feed
+  // to TuneTraceToJson for the machine-readable expansion tree.
+  TuneResult search;
 };
 
 // Finds the per-query probe optimum by running `id` end to end under each

@@ -1,0 +1,44 @@
+#include "tuner/tune_trace.h"
+
+#include "telemetry/json_writer.h"
+
+namespace hef {
+
+namespace {
+
+void WriteConfig(telemetry::JsonWriter& w, const HybridConfig& cfg) {
+  w.BeginObject();
+  w.Key("v").Int(cfg.v);
+  w.Key("s").Int(cfg.s);
+  w.Key("p").Int(cfg.p);
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string TuneTraceToJson(const TuneResult& result) {
+  telemetry::JsonWriter w;
+  w.BeginObject();
+  w.Key("best");
+  WriteConfig(w, result.best);
+  w.Key("best_seconds").Double(result.best_time);
+  w.Key("nodes_tested").Int(result.nodes_tested);
+  w.Key("nodes_pruned").Int(result.nodes_pruned);
+  w.Key("steps").BeginArray();
+  for (const TuneStep& step : result.trace) {
+    w.BeginObject();
+    w.Key("v").Int(step.config.v);
+    w.Key("s").Int(step.config.s);
+    w.Key("p").Int(step.config.p);
+    w.Key("seconds").Double(step.seconds);
+    w.Key("parent");
+    WriteConfig(w, step.parent);
+    w.Key("winner").Bool(step.winner);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace hef

@@ -1,0 +1,25 @@
+// JSON export of a pruning-search trace (TuneResult::trace).
+//
+// The emitted document reconstructs Algorithm 2's full expansion tree:
+// every measured node with its (v, s, p), runtime, the node it was
+// expanded from, and its winner/loser classification — losers are the
+// pruned subtrees. Embedded as a section of the shared bench schema by
+// bench/tuner_search and `tools/hef tune --json`.
+
+#ifndef HEF_TUNER_TUNE_TRACE_H_
+#define HEF_TUNER_TUNE_TRACE_H_
+
+#include <string>
+
+#include "tuner/optimizer.h"
+
+namespace hef {
+
+// {"best":{"v":..,"s":..,"p":..},"best_seconds":..,"nodes_tested":..,
+//  "nodes_pruned":..,"steps":[{"v":..,"s":..,"p":..,"seconds":..,
+//  "parent":{"v":..,"s":..,"p":..},"winner":..}, ...]}
+std::string TuneTraceToJson(const TuneResult& result);
+
+}  // namespace hef
+
+#endif  // HEF_TUNER_TUNE_TRACE_H_

@@ -7,8 +7,10 @@
 
 #include "algo/murmur.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "engine/star_plan.h"
 #include "table/linear_hash_table.h"
+#include "telemetry/span.h"
 
 namespace hef {
 
@@ -127,6 +129,29 @@ struct VoilaEngine::Impl {
     std::vector<std::uint64_t> cnt(plan.gid_domain, 0);
     std::uint64_t qualifying = 0;
 
+    // Per-stage accumulation, same layout as the HEF engine (filters,
+    // probes, group-by) so tools can render both engines' stats alike.
+    const bool stats = config.collect_stats;
+    struct StageAcc {
+      std::uint64_t nanos = 0, calls = 0, rows_in = 0, rows_out = 0;
+    };
+    const std::size_t probe_base = plan.filters.size();
+    const std::size_t groupby_idx = probe_base + plan.joins.size();
+    std::vector<StageAcc> accs(stats ? groupby_idx + 1 : 0);
+    std::uint64_t t0 = 0;
+    auto stage_begin = [&] {
+      if (stats) t0 = MonotonicNanos();
+    };
+    auto stage_end = [&](std::size_t idx, std::uint64_t in_rows,
+                         std::uint64_t out_rows) {
+      if (!stats) return;
+      StageAcc& a = accs[idx];
+      a.nanos += MonotonicNanos() - t0;
+      ++a.calls;
+      a.rows_in += in_rows;
+      a.rows_out += out_rows;
+    };
+
     for (std::size_t b0 = 0; b0 < total; b0 += vec) {
       const std::size_t bn = std::min(vec, total - b0);
       std::size_t n = bn;
@@ -136,25 +161,34 @@ struct VoilaEngine::Impl {
       int live_payloads = 0;
       std::array<int, 4> probed_slots{};
 
-      for (const RangeFilter& f : plan.filters) {
+      for (std::size_t fi = 0; fi < plan.filters.size(); ++fi) {
+        const RangeFilter& f = plan.filters[fi];
         if (n == 0) break;
+        stage_begin();
+        const std::size_t in_rows = n;
         GatherColumn(*f.col, b0, n, val_vec);
         n = SelectRange(n, f.lo, f.hi);
+        stage_end(fi, in_rows, n);
       }
 
-      for (const JoinStage& j : plan.joins) {
+      for (std::size_t ji = 0; ji < plan.joins.size(); ++ji) {
+        const JoinStage& j = plan.joins[ji];
         if (n == 0) break;
         HEF_DCHECK(j.payload_slot >= 0 && j.payload_slot < 4);
+        stage_begin();
+        const std::size_t in_rows = n;
         GatherColumn(*j.fact_key, b0, n, key_vec);
         ComputeSlots(*j.table, n);
         // Payloads land in the schema-order slot the gid mapping expects,
         // independent of probe order.
         n = ProbeFsm(*j.table, n, payload_vec[j.payload_slot]);
         probed_slots[live_payloads++] = j.payload_slot;
+        stage_end(probe_base + ji, in_rows, n);
       }
       if (n == 0) continue;
       qualifying += n;
 
+      stage_begin();
       GatherColumn(*plan.value_a, b0, n, val_vec);
       if (plan.value_b != nullptr) {
         GatherColumn(*plan.value_b, b0, n, val2_vec);
@@ -185,10 +219,37 @@ struct VoilaEngine::Impl {
         agg[g] += val_vec[i];
         cnt[g] += 1;
       }
+      stage_end(groupby_idx, n, n);
     }
 
     QueryResult result;
     result.qualifying_rows = qualifying;
+    if (stats) {
+      const ssb::LineorderFact& lo = db.lineorder;
+      auto to_stats = [](const std::string& name, const StageAcc& a) {
+        OperatorStats s;
+        s.name = name;
+        s.wall_nanos = a.nanos;
+        s.invocations = a.calls;
+        s.rows_in = a.rows_in;
+        s.rows_out = a.rows_out;
+        return s;
+      };
+      auto& ops = result.operator_stats;
+      ops.reserve(accs.size());
+      std::size_t idx = 0;
+      for (const RangeFilter& f : plan.filters) {
+        ops.push_back(to_stats(
+            std::string("filter.") + FactColumnName(lo, f.col),
+            accs[idx++]));
+      }
+      for (const JoinStage& j : plan.joins) {
+        ops.push_back(to_stats(
+            std::string("probe.") + FactColumnName(lo, j.fact_key),
+            accs[idx++]));
+      }
+      ops.push_back(to_stats("groupby", accs[idx]));
+    }
     for (std::size_t g = 0; g < plan.gid_domain; ++g) {
       if (cnt[g] == 0) continue;
       GroupRow row;
@@ -209,8 +270,37 @@ VoilaEngine::~VoilaEngine() = default;
 const VoilaConfig& VoilaEngine::config() const { return impl_->config; }
 
 QueryResult VoilaEngine::Run(QueryId id) {
-  const BoundPlan bound = BuildQueryPlan(impl_->db, id);
-  return impl_->ExecutePlan(bound.plan);
+  HEF_TRACE_SPAN("voila.query");
+  const bool stats = impl_->config.collect_stats;
+  OperatorStats build;
+  std::uint64_t t0 = 0;
+  if (stats) {
+    build.name = "build";
+    t0 = MonotonicNanos();
+  }
+  BoundPlan bound;
+  {
+    HEF_TRACE_SPAN("voila.build");
+    bound = BuildQueryPlan(impl_->db, id);
+  }
+  if (stats) {
+    build.wall_nanos = MonotonicNanos() - t0;
+    build.invocations = 1;
+    for (const auto& table : bound.tables) {
+      build.rows_in += table->size();
+      build.rows_out += table->size();
+    }
+  }
+  QueryResult result;
+  {
+    HEF_TRACE_SPAN("voila.pipeline");
+    result = impl_->ExecutePlan(bound.plan);
+  }
+  if (stats) {
+    result.operator_stats.insert(result.operator_stats.begin(),
+                                 std::move(build));
+  }
+  return result;
 }
 
 }  // namespace hef

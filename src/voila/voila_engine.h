@@ -39,6 +39,11 @@ struct VoilaConfig {
   // Pending keys whose slots are prefetched before resolution; the
   // group-prefetch realization of the probe FSM.
   int prefetch_group = 16;
+  // Collect per-stage statistics into QueryResult::operator_stats (same
+  // layout as the HEF engine: build, filters, probes, group-by). Wall
+  // clock and row counts only — the interpreter is single-threaded and
+  // not PMU-bracketed.
+  bool collect_stats = false;
 };
 
 class VoilaEngine {

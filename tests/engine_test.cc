@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "engine/engine.h"
 #include "engine/reference.h"
@@ -173,6 +174,84 @@ TEST(EngineTest, GroupKeysAreWithinDomains) {
     EXPECT_GE(row.keys[2], 11u);   // category
     EXPECT_LE(row.keys[2], 25u);   // mfgr in {1,2} -> categories 11..25
   }
+}
+
+TEST(EngineStatsTest, EmptyUnlessRequested) {
+  EngineConfig config;
+  SsbEngine engine(TestDb(), config);
+  EXPECT_TRUE(engine.Run(QueryId::kQ2_1).operator_stats.empty());
+}
+
+TEST(EngineStatsTest, CollectStatsProducesPerOperatorRows) {
+  EngineConfig config;
+  config.collect_stats = true;
+  SsbEngine engine(TestDb(), config);
+  const QueryResult result = engine.Run(QueryId::kQ2_1);
+  const auto& stats = result.operator_stats;
+  ASSERT_FALSE(stats.empty());
+  // Pipeline order: dimension build first, group-by last, one probe per
+  // join level in between (Q2.1 joins part, supplier, date).
+  EXPECT_EQ(stats.front().name, "build");
+  EXPECT_EQ(stats.back().name, "groupby");
+  std::vector<std::string> probes;
+  for (const OperatorStats& s : stats) {
+    if (s.name.rfind("probe.", 0) == 0) probes.push_back(s.name);
+    EXPECT_LE(s.rows_out, s.rows_in) << s.name;
+    EXPECT_GE(s.Selectivity(), 0.0);
+    EXPECT_LE(s.Selectivity(), 1.0);
+  }
+  EXPECT_EQ(probes,
+            (std::vector<std::string>{"probe.partkey", "probe.suppkey",
+                                      "probe.orderdate"}));
+  // The first probe scans every fact row; the last one feeds the group-by
+  // with exactly the qualifying rows.
+  EXPECT_EQ(stats[1].rows_in, TestDb().lineorder.n);
+  EXPECT_EQ(stats[stats.size() - 2].rows_out, result.qualifying_rows);
+  EXPECT_GT(stats[1].wall_nanos, 0u);
+  EXPECT_GT(stats[1].invocations, 0u);
+  // The text rendering carries one line per operator (plus the header).
+  const std::string text = result.StatsToString();
+  EXPECT_NE(text.find("probe.partkey"), std::string::npos);
+  EXPECT_NE(text.find("groupby"), std::string::npos);
+}
+
+TEST(EngineStatsTest, FilterQueriesReportFilterOperators) {
+  EngineConfig config;
+  config.collect_stats = true;
+  SsbEngine engine(TestDb(), config);
+  const auto stats = engine.Run(QueryId::kQ1_1).operator_stats;
+  int filters = 0;
+  for (const OperatorStats& s : stats) {
+    if (s.name.rfind("filter.", 0) == 0) ++filters;
+  }
+  EXPECT_GE(filters, 3);  // year, discount, quantity predicates
+}
+
+TEST(EngineStatsTest, MorselParallelStatsMergeAcrossWorkers) {
+  EngineConfig config;
+  config.collect_stats = true;
+  config.threads = 4;
+  SsbEngine engine(TestDb(), config);
+  const QueryResult result = engine.Run(QueryId::kQ2_1);
+  ASSERT_FALSE(result.operator_stats.empty());
+  // Worker-local accumulators must merge to whole-query row counts.
+  EXPECT_EQ(result.operator_stats[1].rows_in, TestDb().lineorder.n);
+  EXPECT_EQ(result.operator_stats[result.operator_stats.size() - 2].rows_out,
+            result.qualifying_rows);
+}
+
+TEST(EngineStatsTest, OperatorStatsJsonHasPerOperatorObjects) {
+  EngineConfig config;
+  config.collect_stats = true;
+  SsbEngine engine(TestDb(), config);
+  const std::string json =
+      OperatorStatsToJson(engine.Run(QueryId::kQ2_1).operator_stats);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"probe.partkey\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"groupby\""), std::string::npos);
+  EXPECT_NE(json.find("\"selectivity\":"), std::string::npos);
 }
 
 TEST(QueryIdTest, ParseAndNames) {

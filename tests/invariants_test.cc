@@ -14,20 +14,20 @@ namespace {
 using InvariantsDeathTest = ::testing::Test;
 
 TEST(InvariantsDeathTest, DuplicateHashTableKeyAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   LinearHashTable table(16);
   table.Insert(7, 70);
   EXPECT_DEATH(table.Insert(7, 71), "duplicate key");
 }
 
 TEST(InvariantsDeathTest, EmptyMarkerKeyAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   LinearHashTable table(16);
   EXPECT_DEATH(table.Insert(kEmptyKey, 1), "empty marker");
 }
 
 TEST(InvariantsDeathTest, ConfigOutsideGridAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   AlignedBuffer<std::uint64_t> in(64, 64), out(64, 64);
   EXPECT_DEATH(
       MurmurHashArray(HybridConfig{9, 9, 9}, in.data(), out.data(), 64),
@@ -35,13 +35,13 @@ TEST(InvariantsDeathTest, ConfigOutsideGridAborts) {
 }
 
 TEST(InvariantsDeathTest, ResultValueOnErrorAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   Result<int> r(Status::NotFound("nope"));
   EXPECT_DEATH((void)r.value(), "Result::value\\(\\) on error");
 }
 
 TEST(InvariantsDeathTest, BadLoadFactorAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   EXPECT_DEATH(LinearHashTable(16, 0.0), "load factor");
   EXPECT_DEATH(LinearHashTable(16, 1.5), "load factor");
 }

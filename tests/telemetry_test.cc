@@ -1,0 +1,317 @@
+// Tests for the telemetry subsystem: JSON writer, span tracer, metrics
+// registry (including concurrent producers), and the hef-bench-v1 report
+// schema (golden documents).
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "telemetry/bench_report.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+
+namespace hef::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("hi");
+  w.Key("i").Int(-3);
+  w.Key("u").UInt(18446744073709551615ull);
+  w.Key("d").Double(2.5);
+  w.Key("b").Bool(true);
+  w.Key("n").Null();
+  w.Key("a").BeginArray().Int(1).Int(2).EndArray();
+  w.Key("o").BeginObject().EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.Take(),
+            "{\"s\":\"hi\",\"i\":-3,\"u\":18446744073709551615,"
+            "\"d\":2.5,\"b\":true,\"n\":null,\"a\":[1,2],\"o\":{}}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te\x01"),
+            "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(1.0);
+  w.EndArray();
+  EXPECT_EQ(w.Take(), "[null,null,1]");
+}
+
+// ---------------------------------------------------------------- SpanTracer
+
+TEST(SpanTest, DisabledScopesRecordNothing) {
+  SpanTracer& tracer = SpanTracer::Get();
+  tracer.SetEnabled(false);
+  (void)tracer.Drain();
+  {
+    HEF_TRACE_SPAN("outer");
+    HEF_TRACE_SPAN("inner");
+  }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(SpanTest, NestedScopesRecordDepthAndContainment) {
+  SpanTracer& tracer = SpanTracer::Get();
+  (void)tracer.Drain();
+  tracer.SetEnabled(true);
+  {
+    HEF_TRACE_SPAN("outer");
+    {
+      HEF_TRACE_SPAN("inner");
+    }
+  }
+  tracer.SetEnabled(false);
+  const std::vector<SpanEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Drain orders by start time: outer opened first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[0].thread_id, events[1].thread_id);
+  // The inner scope lies within the outer scope's interval.
+  EXPECT_GE(events[1].start_nanos, events[0].start_nanos);
+  EXPECT_LE(events[1].start_nanos + events[1].duration_nanos,
+            events[0].start_nanos + events[0].duration_nanos);
+}
+
+TEST(SpanTest, SequentialScopesAccumulate) {
+  SpanTracer& tracer = SpanTracer::Get();
+  (void)tracer.Drain();
+  tracer.SetEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    HEF_TRACE_SPAN("step");
+  }
+  tracer.SetEnabled(false);
+  const std::vector<SpanEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_nanos, events[i - 1].start_nanos);
+    EXPECT_EQ(events[i].depth, 0u);
+  }
+}
+
+TEST(SpanTest, EnabledMidScopeDoesNotRecordThatScope) {
+  SpanTracer& tracer = SpanTracer::Get();
+  (void)tracer.Drain();
+  tracer.SetEnabled(false);
+  {
+    HEF_TRACE_SPAN("late");  // tracer off at construction -> inactive
+    tracer.SetEnabled(true);
+  }
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.Drain().size(), 0u);
+}
+
+TEST(SpanTest, TraceEventJsonIsDeterministic) {
+  std::vector<SpanEvent> events(2);
+  events[0].name = "query";
+  events[0].start_nanos = 2000;
+  events[0].duration_nanos = 5000;
+  events[0].thread_id = 0;
+  events[0].depth = 0;
+  events[1].name = "probe";
+  events[1].start_nanos = 3000;
+  events[1].duration_nanos = 1500;
+  events[1].thread_id = 1;
+  events[1].depth = 1;
+  // Timestamps are microseconds relative to the earliest event.
+  EXPECT_EQ(SpanTracer::ToTraceEventJson(events),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+            "{\"name\":\"query\",\"cat\":\"hef\",\"ph\":\"X\",\"ts\":0,"
+            "\"dur\":5,\"pid\":1,\"tid\":0,\"args\":{\"depth\":0}},"
+            "{\"name\":\"probe\",\"cat\":\"hef\",\"ph\":\"X\",\"ts\":1,"
+            "\"dur\":1.5,\"pid\":1,\"tid\":1,\"args\":{\"depth\":1}}]}");
+}
+
+TEST(SpanTest, EmptyTraceIsValid) {
+  EXPECT_EQ(SpanTracer::ToTraceEventJson({}),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+}
+
+// ----------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(1ull << 63), 64);
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), 64);
+}
+
+TEST(HistogramTest, BucketBoundsAreTightAndConsistent) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(5), 16u);
+  EXPECT_EQ(Histogram::BucketUpperBound(5), 31u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), ~0ull);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i);
+    if (i > 0) {
+      // Buckets tile the domain with no gaps or overlaps.
+      EXPECT_EQ(Histogram::BucketLowerBound(i),
+                Histogram::BucketUpperBound(i - 1) + 1);
+    }
+  }
+}
+
+TEST(HistogramTest, ObserveCountSumMean) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(7);
+  h.Observe(8);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 16u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+  EXPECT_EQ(h.BucketCount(0), 1u);  // value 0
+  EXPECT_EQ(h.BucketCount(1), 1u);  // value 1
+  EXPECT_EQ(h.BucketCount(3), 1u);  // values 4..7
+  EXPECT_EQ(h.BucketCount(4), 1u);  // values 8..15
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+}
+
+TEST(HistogramTest, ApproxPercentileReturnsBucketUpperBounds) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(1);    // bucket 1, le 1
+  for (int i = 0; i < 10; ++i) h.Observe(100);  // bucket 7, le 127
+  EXPECT_EQ(h.ApproxPercentile(0.50), 1u);
+  EXPECT_EQ(h.ApproxPercentile(0.90), 1u);
+  EXPECT_EQ(h.ApproxPercentile(0.99), 127u);
+  EXPECT_EQ(h.ApproxPercentile(1.0), 127u);
+}
+
+// ----------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("a");
+  Counter& c2 = registry.counter("a");
+  EXPECT_EQ(&c1, &c2);
+  Gauge& g1 = registry.gauge("a");  // same name, different kind: distinct
+  registry.histogram("a");
+  c1.Increment(3);
+  g1.Set(1.5);
+  EXPECT_EQ(registry.counter("a").value(), 3u);
+  EXPECT_EQ(registry.gauge("a").value(), 1.5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentProducersDoNotLoseUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Mix of shared and per-thread metrics, looked up concurrently.
+      Counter& shared = registry.counter("shared");
+      Counter& mine = registry.counter("thread." + std::to_string(t));
+      Histogram& hist = registry.histogram("values");
+      for (int i = 0; i < kIters; ++i) {
+        shared.Increment();
+        mine.Increment(2);
+        hist.Observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("thread." + std::to_string(t)).value(),
+              2u * kIters);
+  }
+  EXPECT_EQ(registry.histogram("values").Count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsSortedAndSchemaStable) {
+  MetricsRegistry registry;
+  registry.counter("z").Increment(1);
+  registry.counter("a").Increment(2);
+  registry.gauge("g").Set(0.5);
+  registry.histogram("h").Observe(3);
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{\"a\":2,\"z\":1},"
+            "\"gauges\":{\"g\":0.5},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":3,\"mean\":3,"
+            "\"p50\":3,\"p99\":3,"
+            "\"buckets\":[{\"le\":3,\"count\":1}]}}}");
+  registry.ResetAll();
+  // Names stay registered after a reset; values zero.
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{\"a\":0,\"z\":0},"
+            "\"gauges\":{\"g\":0},"
+            "\"histograms\":{\"h\":{\"count\":0,\"sum\":0,\"mean\":0,"
+            "\"p50\":0,\"p99\":0,\"buckets\":[]}}}");
+}
+
+// --------------------------------------------------------------- BenchReport
+
+TEST(BenchReportTest, GoldenDocumentHasAllSixKeys) {
+  BenchReport report("unit");
+  report.SetConfig("sf", 1.5);
+  report.SetConfig("tuned", true);
+  report.AddResult().Set("engine", "scalar").Set("ms", 2.0).Set("rows", 7);
+  report.AddResult()
+      .Set("engine", "hybrid")
+      .Set("ms", 1.0)
+      .Set("count", std::uint64_t{42});
+  report.AddSection("trace", "{\"nodes\":3}");
+  EXPECT_EQ(report.ToJson(),
+            "{\"schema\":\"hef-bench-v1\",\"bench\":\"unit\","
+            "\"config\":{\"sf\":1.5,\"tuned\":true},"
+            "\"results\":["
+            "{\"engine\":\"scalar\",\"ms\":2,\"rows\":7},"
+            "{\"engine\":\"hybrid\",\"ms\":1,\"count\":42}],"
+            "\"sections\":{\"trace\":{\"nodes\":3}},"
+            "\"metrics\":{}}");
+}
+
+TEST(BenchReportTest, EmptyReportStillHasFixedShape) {
+  BenchReport report("empty");
+  EXPECT_EQ(report.ToJson(),
+            "{\"schema\":\"hef-bench-v1\",\"bench\":\"empty\","
+            "\"config\":{},\"results\":[],\"sections\":{},"
+            "\"metrics\":{}}");
+}
+
+TEST(BenchReportTest, WriteFileRoundTrips) {
+  BenchReport report("file");
+  report.AddResult().Set("k", 1);
+  const std::string path = ::testing::TempDir() + "/hef_bench_report.json";
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), report.ToJson() + "\n");
+}
+
+}  // namespace
+}  // namespace hef::telemetry

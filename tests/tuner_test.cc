@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "algo/murmur.h"
@@ -12,6 +14,7 @@
 #include "tuner/kernel_tuners.h"
 #include "tuner/optimizer.h"
 #include "tuner/search_space.h"
+#include "tuner/tune_trace.h"
 
 namespace hef {
 namespace {
@@ -149,6 +152,94 @@ TEST(OptimizerTest, RespectsMeasurementBudget) {
   options.max_measurements = 5;
   const TuneResult r = Tune(HybridConfig{4, 4, 4}, ConvexCost, options);
   EXPECT_LE(r.nodes_tested, 5 + 6);  // budget checked per expansion round
+}
+
+TEST(OptimizerTest, TraceReconstructsExpansionTree) {
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 4 && cfg.s <= 6 && cfg.p <= 5;
+  };
+  const HybridConfig start{4, 6, 5};
+  const TuneResult r = Tune(start, ConvexCost, options);
+  ASSERT_EQ(static_cast<int>(r.trace.size()), r.nodes_tested);
+
+  // The root is its own parent and always classified a winner.
+  EXPECT_EQ(r.trace.front().config, start);
+  EXPECT_EQ(r.trace.front().parent, start);
+  EXPECT_TRUE(r.trace.front().winner);
+
+  int winners = 0;
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    const TuneStep& step = r.trace[i];
+    if (step.winner) ++winners;
+    if (i == 0) continue;
+    // Every expansion edge leaves a previously-tested *winner*, and spans
+    // exactly one coordinate step (Algorithm 2's neighbour set).
+    bool parent_found = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (r.trace[j].config == step.parent) {
+        parent_found = true;
+        EXPECT_TRUE(r.trace[j].winner) << step.parent.ToString();
+        // A non-root winner beat the node it was expanded from.
+        if (step.winner) EXPECT_LT(step.seconds, r.trace[j].seconds);
+        break;
+      }
+    }
+    EXPECT_TRUE(parent_found) << step.parent.ToString();
+    const int dist = std::abs(step.config.v - step.parent.v) +
+                     std::abs(step.config.s - step.parent.s) +
+                     std::abs(step.config.p - step.parent.p);
+    EXPECT_EQ(dist, 1) << step.config.ToString();
+  }
+  // Losers are exactly the pruned nodes (end_list of Algorithm 2).
+  EXPECT_EQ(r.nodes_pruned, static_cast<int>(r.trace.size()) - winners);
+  // The recorded optimum is the fastest step in the trace.
+  double fastest = r.trace.front().seconds;
+  for (const TuneStep& step : r.trace) {
+    fastest = std::min(fastest, step.seconds);
+  }
+  EXPECT_DOUBLE_EQ(fastest, r.best_time);
+}
+
+TEST(OptimizerTest, ExhaustiveTraceMarksRunningOptima) {
+  const auto space = EnumerateSearchSpace(2, 2, 2);
+  const TuneResult r = TuneExhaustive(space, ConvexCost);
+  ASSERT_EQ(static_cast<int>(r.trace.size()), r.nodes_tested);
+  EXPECT_EQ(r.nodes_pruned, 0);
+  double best = 0;
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    EXPECT_EQ(r.trace[i].parent, r.trace[i].config);  // no expansion tree
+    if (i == 0) {
+      EXPECT_TRUE(r.trace[i].winner);
+      best = r.trace[i].seconds;
+    } else if (r.trace[i].winner) {
+      EXPECT_LT(r.trace[i].seconds, best);
+      best = r.trace[i].seconds;
+    } else {
+      EXPECT_GE(r.trace[i].seconds, best);
+    }
+  }
+  EXPECT_DOUBLE_EQ(best, r.best_time);
+}
+
+TEST(TuneTraceTest, JsonGolden) {
+  TuneResult r;
+  r.best = HybridConfig{1, 3, 2};
+  r.best_time = 0.5;
+  r.nodes_tested = 2;
+  r.nodes_pruned = 1;
+  r.trace.push_back(TuneStep{HybridConfig{1, 3, 2}, 0.5,
+                             HybridConfig{1, 3, 2}, true});
+  r.trace.push_back(TuneStep{HybridConfig{2, 3, 2}, 0.75,
+                             HybridConfig{1, 3, 2}, false});
+  EXPECT_EQ(TuneTraceToJson(r),
+            "{\"best\":{\"v\":1,\"s\":3,\"p\":2},"
+            "\"best_seconds\":0.5,\"nodes_tested\":2,\"nodes_pruned\":1,"
+            "\"steps\":["
+            "{\"v\":1,\"s\":3,\"p\":2,\"seconds\":0.5,"
+            "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":true},"
+            "{\"v\":2,\"s\":3,\"p\":2,\"seconds\":0.75,"
+            "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":false}]}");
 }
 
 TEST(KernelTunersTest, AllKernelTunersProduceValidOptima) {

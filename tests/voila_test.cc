@@ -56,6 +56,25 @@ TEST(VoilaConfigTest, VectorSizeDoesNotChangeResults) {
   }
 }
 
+TEST(VoilaStatsTest, CollectStatsProducesOperatorRows) {
+  VoilaConfig config;
+  config.collect_stats = true;
+  VoilaEngine engine(TestDb(), config);
+  const QueryResult result = engine.Run(QueryId::kQ2_1);
+  const auto& stats = result.operator_stats;
+  ASSERT_FALSE(stats.empty());
+  // Same operator naming as the block engine, so reports line up.
+  EXPECT_EQ(stats.front().name, "build");
+  EXPECT_EQ(stats.back().name, "groupby");
+  EXPECT_EQ(stats.back().rows_in, result.qualifying_rows);
+  for (const OperatorStats& s : stats) {
+    EXPECT_LE(s.rows_out, s.rows_in) << s.name;
+  }
+  // Stats stay off by default.
+  VoilaEngine plain(TestDb());
+  EXPECT_TRUE(plain.Run(QueryId::kQ2_1).operator_stats.empty());
+}
+
 TEST(VoilaConfigTest, PrefetchGroupDoesNotChangeResults) {
   const QueryResult want = RunReferenceQuery(TestDb(), QueryId::kQ3_3);
   for (int group : {1, 4, 64}) {

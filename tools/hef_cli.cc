@@ -6,9 +6,13 @@
 //   hef sql --query=2.1               print the query's SQL
 //   hef generate --config=v1s3p2      print translator output
 //
-// Every subcommand accepts --help.
+// Every subcommand accepts --help. The global --trace=PATH flag (or the
+// HEF_TRACE environment variable) enables span tracing for the whole
+// invocation and writes a chrome://tracing / Perfetto trace-event file
+// on exit; see docs/observability.md.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -23,7 +27,10 @@
 #include "portmodel/port_model.h"
 #include "procinfo/cpu_features.h"
 #include "ssb/database.h"
+#include "telemetry/bench_report.h"
+#include "telemetry/span.h"
 #include "tuner/kernel_tuners.h"
+#include "tuner/tune_trace.h"
 #include "tuner/tuning_cache.h"
 #include "voila/voila_engine.h"
 
@@ -65,6 +72,9 @@ int CmdTune(int argc, char** argv) {
   flags.AddString("cache", ".hef_tuning", "tuning cache file");
   flags.AddInt64("elements", 1 << 15, "elements per measurement");
   flags.AddInt64("repetitions", 9, "repetitions per measurement");
+  flags.AddString("json", "",
+                  "write a hef-bench-v1 JSON report (with full search "
+                  "traces) to this path");
   if (!flags.Parse(argc, argv).ok() || flags.HelpRequested()) {
     flags.PrintUsage("hef tune");
     return flags.HelpRequested() ? 0 : 1;
@@ -101,6 +111,33 @@ int CmdTune(int argc, char** argv) {
   }
   std::printf("%s\nsaved to %s\n", table.ToString().c_str(),
               cache.path().c_str());
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    telemetry::BenchReport report("hef_tune");
+    report.SetConfig("elements",
+                     static_cast<std::int64_t>(options.elements));
+    report.SetConfig("repetitions", options.repetitions);
+    for (const Row& row : rows) {
+      report.AddResult()
+          .Set("operator", row.name)
+          .Set("optimum", row.result.best.ToString())
+          .Set("nodes_tested", static_cast<std::int64_t>(
+                                   row.result.nodes_tested))
+          .Set("nodes_pruned", static_cast<std::int64_t>(
+                                   row.result.nodes_pruned))
+          .Set("best_ms", row.result.best_time * 1e3);
+      report.AddSection(std::string(row.name) + "_tune_trace",
+                        TuneTraceToJson(row.result));
+    }
+    report.IncludeMetrics();
+    const Status ws = report.WriteFile(json_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -110,6 +147,12 @@ int CmdQuery(int argc, char** argv) {
   flags.AddDouble("sf", 0.1, "scale factor");
   flags.AddString("cache", ".hef_tuning", "tuning cache file (optional)");
   flags.AddInt64("rows", 8, "result rows to print");
+  flags.AddBool("stats", false,
+                "collect and print per-operator statistics (wall time, "
+                "rows, selectivity, PMU counters when available)");
+  flags.AddString("json", "",
+                  "write a hef-bench-v1 JSON report (with per-operator "
+                  "stats sections when --stats) to this path");
   if (!flags.Parse(argc, argv).ok() || flags.HelpRequested()) {
     flags.PrintUsage("hef query");
     return flags.HelpRequested() ? 0 : 1;
@@ -119,6 +162,8 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
+  const bool stats = flags.GetBool("stats");
+  const std::string json_path = flags.GetString("json");
 
   std::printf("%s\n\n", QuerySql(query.value()));
   const ssb::SsbDatabase db =
@@ -136,31 +181,71 @@ int CmdQuery(int argc, char** argv) {
                 hybrid_cfg.gather_cfg.ToString().c_str());
   }
 
+  telemetry::BenchReport report("hef_query");
+  report.SetConfig("query", QueryName(query.value()));
+  report.SetConfig("scale_factor", flags.GetDouble("sf"));
+  report.SetConfig("stats", stats);
+
   TextTable timings;
   timings.AddRow({"engine", "time (ms)", "rows"});
   QueryResult result;
+  std::string stats_text;  // per-engine operator tables, printed at the end
   auto run = [&](const char* name, auto&& engine) {
     Stopwatch sw;
     result = engine.Run(query.value());
-    timings.AddRow({name, TextTable::Num(sw.ElapsedMillis(), 1),
+    const double ms = sw.ElapsedMillis();
+    timings.AddRow({name, TextTable::Num(ms, 1),
                     std::to_string(result.rows.size())});
+    auto& row = report.AddResult();
+    row.Set("query", QueryName(query.value()))
+        .Set("engine", name)
+        .Set("ms", ms)
+        .Set("rows", static_cast<std::uint64_t>(result.rows.size()))
+        .Set("qualifying_rows", result.qualifying_rows);
+    if (!result.operator_stats.empty()) {
+      stats_text += std::string("-- ") + name + "\n" +
+                    result.StatsToString() + "\n";
+      report.AddSection(std::string(name) + "_operator_stats",
+                        OperatorStatsToJson(result.operator_stats));
+    }
   };
   EngineConfig scalar_cfg;
   scalar_cfg.flavor = Flavor::kScalar;
+  scalar_cfg.collect_stats = stats;
+  scalar_cfg.collect_pmu = stats;
   SsbEngine scalar_engine(db, scalar_cfg);
   run("scalar", scalar_engine);
   EngineConfig simd_cfg;
   simd_cfg.flavor = Flavor::kSimd;
+  simd_cfg.collect_stats = stats;
+  simd_cfg.collect_pmu = stats;
   SsbEngine simd_engine(db, simd_cfg);
   run("simd", simd_engine);
+  hybrid_cfg.collect_stats = stats;
+  hybrid_cfg.collect_pmu = stats;
   SsbEngine hybrid_engine(db, hybrid_cfg);
   run("hybrid", hybrid_engine);
-  VoilaEngine voila(db);
+  VoilaConfig voila_cfg;
+  voila_cfg.collect_stats = stats;
+  VoilaEngine voila(db, voila_cfg);
   run("voila", voila);
   std::printf("\n%s\n", timings.ToString().c_str());
+  if (!stats_text.empty()) {
+    std::printf("per-operator statistics:\n%s", stats_text.c_str());
+  }
 
   const bool correct = result == RunReferenceQuery(db, query.value());
   std::printf("verification: %s\n\n", correct ? "OK" : "MISMATCH");
+  if (!json_path.empty()) {
+    report.SetConfig("verified", correct);
+    report.IncludeMetrics();
+    const Status ws = report.WriteFile(json_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
   const auto limit = std::min<std::size_t>(
       result.rows.size(), static_cast<std::size_t>(flags.GetInt64("rows")));
   for (std::size_t i = 0; i < limit; ++i) {
@@ -259,23 +344,60 @@ int CmdGenerate(int argc, char** argv) {
   return std::system(cmd.c_str()) == 0 ? 0 : 1;
 }
 
+int Dispatch(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "tune") return CmdTune(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "sql") return CmdSql(argc, argv);
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}
+
 int Main(int argc, char** argv) {
+  // The global --trace flag may appear anywhere on the command line; strip
+  // it before subcommand flag parsing. HEF_TRACE=<path> is the env-var
+  // equivalent (the flag wins when both are given).
+  std::string trace_path;
+  if (const char* env = std::getenv("HEF_TRACE");
+      env != nullptr && env[0] != '\0') {
+    trace_path = env;
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
       std::strcmp(argv[1], "-h") == 0) {
     std::fprintf(stderr,
-                 "usage: hef <info|tune|query|sql|generate> [flags]\n");
+                 "usage: hef [--trace=PATH] "
+                 "<info|tune|query|sql|generate> [flags]\n");
     return argc < 2 ? 1 : 0;
   }
   const std::string cmd = argv[1];
   // Shift argv so subcommand flag parsing starts after the verb.
   argv[1] = argv[0];
-  if (cmd == "info") return CmdInfo(argc - 1, argv + 1);
-  if (cmd == "tune") return CmdTune(argc - 1, argv + 1);
-  if (cmd == "query") return CmdQuery(argc - 1, argv + 1);
-  if (cmd == "sql") return CmdSql(argc - 1, argv + 1);
-  if (cmd == "generate") return CmdGenerate(argc - 1, argv + 1);
-  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-  return 1;
+
+  if (!trace_path.empty()) telemetry::SpanTracer::Get().SetEnabled(true);
+  const int rc = Dispatch(cmd, argc - 1, argv + 1);
+  if (!trace_path.empty()) {
+    const Status st =
+        telemetry::SpanTracer::Get().WriteTraceFile(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace: %s\n", st.ToString().c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::fprintf(stderr, "wrote trace to %s (open in chrome://tracing)\n",
+                 trace_path.c_str());
+  }
+  return rc;
 }
 
 }  // namespace
