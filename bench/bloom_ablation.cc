@@ -13,6 +13,7 @@
 #include "common/text_table.h"
 #include "engine/engine.h"
 #include "engine/reference.h"
+#include "exec/runtime.h"
 #include "ssb/database.h"
 
 namespace hef {
@@ -23,6 +24,9 @@ int Main(int argc, char** argv) {
   flags.AddDouble("sf", 1.0, "SSB scale factor");
   flags.AddInt64("repetitions", 3, "measurement repetitions");
   flags.AddBool("verify", true, "cross-check against the reference");
+  flags.AddString("threads", "auto",
+                  "worker threads per engine: auto (one per hardware "
+                  "thread) or a count; the paper's per-core exhibits use 1");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -33,14 +37,23 @@ int Main(int argc, char** argv) {
     return 0;
   }
   const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("== Bloom pre-filter ablation ==\n");
   const double sf = flags.GetDouble("sf");
   std::printf("scale factor %.2f — generating data...\n\n", sf);
   const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(sf);
 
+  // Cold end-to-end runs: the ablation's subject includes the Bloom build,
+  // which a warm plan cache would hide.
   EngineConfig plain_cfg;
   plain_cfg.flavor = Flavor::kHybrid;
+  plain_cfg.threads = threads.value();
+  plain_cfg.plan_cache = false;
   EngineConfig bloom_cfg = plain_cfg;
   bloom_cfg.bloom_prefilter = true;
   SsbEngine plain(db, plain_cfg);

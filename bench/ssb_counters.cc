@@ -15,6 +15,7 @@
 #include "common/flags.h"
 #include "common/text_table.h"
 #include "engine/engine.h"
+#include "exec/runtime.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
 #include "tuner/kernel_tuners.h"
@@ -31,6 +32,11 @@ int Main(int argc, char** argv) {
   flags.AddInt64("repetitions", 3, "measurement repetitions");
   flags.AddBool("tune", true, "tune hybrid kernels first");
   flags.AddBool("csv", false, "emit CSV");
+  flags.AddString("threads", "1",
+                  "worker threads per engine: auto or a count. Defaults "
+                  "to 1 because the PMU group follows the measuring "
+                  "thread — per-core counters (the Tables' subject) are "
+                  "only attributable single-threaded");
   flags.AddString("json", "",
                   "write a hef-bench-v1 JSON report to this path");
   const Status st = flags.Parse(argc, argv);
@@ -51,6 +57,11 @@ int Main(int argc, char** argv) {
   const QueryId query = query_r.value();
   const double sf = flags.GetDouble("sf");
   const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("== SSB counter harness (paper Tables III-V) ==\n");
   std::printf("query %s at SF %.2f — generating data...\n",
@@ -82,10 +93,18 @@ int Main(int argc, char** argv) {
   scalar_cfg.flavor = Flavor::kScalar;
   EngineConfig simd_cfg;
   simd_cfg.flavor = Flavor::kSimd;
+  // Table-exhibit timing: every repetition is a cold end-to-end run.
+  VoilaConfig voila_cfg;
+  voila_cfg.threads = threads.value();
+  voila_cfg.plan_cache = false;
+  for (EngineConfig* cfg : {&scalar_cfg, &simd_cfg, &hybrid_cfg}) {
+    cfg->threads = threads.value();
+    cfg->plan_cache = false;
+  }
   SsbEngine scalar_engine(db, scalar_cfg);
   SsbEngine simd_engine(db, simd_cfg);
   SsbEngine hybrid_engine(db, hybrid_cfg);
-  VoilaEngine voila_engine(db);
+  VoilaEngine voila_engine(db, voila_cfg);
 
   PerfCounters counters;
   if (!counters.available()) {
@@ -141,6 +160,8 @@ int Main(int argc, char** argv) {
     report.SetConfig("scale_factor", sf);
     report.SetConfig("repetitions", repetitions);
     report.SetConfig("tuned", flags.GetBool("tune"));
+    report.SetConfig("threads",
+                     static_cast<std::int64_t>(threads.value()));
     const std::pair<const char*, const bench::Measurement*> measured[] = {
         {"scalar", &scalar},
         {"simd", &simd},

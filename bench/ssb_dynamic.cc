@@ -16,6 +16,7 @@
 #include "common/flags.h"
 #include "common/text_table.h"
 #include "engine/engine.h"
+#include "exec/runtime.h"
 #include "ssb/database.h"
 #include "tuner/kernel_tuners.h"
 #include "tuner/query_tuner.h"
@@ -27,6 +28,9 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   flags.AddDouble("sf", 0.5, "SSB scale factor");
   flags.AddInt64("repetitions", 3, "measurement repetitions per query");
+  flags.AddString("threads", "auto",
+                  "worker threads per engine: auto (one per hardware "
+                  "thread) or a count; the paper's per-core exhibits use 1");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -37,6 +41,11 @@ int Main(int argc, char** argv) {
     return 0;
   }
   const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("== static vs dynamic operator selection (paper §VII) ==\n");
   const double sf = flags.GetDouble("sf");
@@ -59,12 +68,14 @@ int Main(int argc, char** argv) {
                 "dynamic cfg", "nodes", "dyn/global"});
 
   for (const QueryId query : PaperFigureQueries()) {
+    // Paper-exhibit timing: every repetition is a cold end-to-end run.
     EngineConfig default_cfg;
     default_cfg.flavor = Flavor::kHybrid;
+    default_cfg.threads = threads.value();
+    default_cfg.plan_cache = false;
     SsbEngine default_engine(db, default_cfg);
 
-    EngineConfig global_cfg;
-    global_cfg.flavor = Flavor::kHybrid;
+    EngineConfig global_cfg = default_cfg;
     global_cfg.probe_cfg = global_probe;
     SsbEngine global_engine(db, global_cfg);
 
@@ -72,8 +83,7 @@ int Main(int argc, char** argv) {
     qopt.initial_probe = global_probe;
     qopt.repetitions = repetitions;
     const QueryTuneResult dynamic = TuneQueryProbe(db, query, qopt);
-    EngineConfig dynamic_cfg;
-    dynamic_cfg.flavor = Flavor::kHybrid;
+    EngineConfig dynamic_cfg = default_cfg;
     dynamic_cfg.probe_cfg = dynamic.probe;
     SsbEngine dynamic_engine(db, dynamic_cfg);
 

@@ -17,6 +17,7 @@
 #include "common/text_table.h"
 #include "engine/engine.h"
 #include "engine/reference.h"
+#include "exec/runtime.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
 #include "tuner/kernel_tuners.h"
@@ -38,6 +39,9 @@ int Main(int argc, char** argv) {
                 "include Q1.x (the paper's figures exclude them)");
   flags.AddBool("verify", true,
                 "cross-check all engines against the reference executor");
+  flags.AddString("threads", "auto",
+                  "worker threads per engine: auto (one per hardware "
+                  "thread) or a count; the paper's per-core exhibits use 1");
   flags.AddString("json", "",
                   "write a hef-bench-v1 JSON report to this path");
   const Status st = flags.Parse(argc, argv);
@@ -52,11 +56,17 @@ int Main(int argc, char** argv) {
 
   const double sf = flags.GetDouble("sf");
   const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    return 1;
+  }
 
   telemetry::BenchReport report("ssb_figures");
   report.SetConfig("scale_factor", sf);
   report.SetConfig("repetitions", repetitions);
   report.SetConfig("tuned", flags.GetBool("tune"));
+  report.SetConfig("threads", static_cast<std::int64_t>(threads.value()));
 
   std::printf("== SSB figure harness (paper Figs. 8-10) ==\n");
   std::printf("scale factor %.2f — generating data...\n", sf);
@@ -100,10 +110,20 @@ int Main(int argc, char** argv) {
   EngineConfig simd_cfg;
   simd_cfg.flavor = Flavor::kSimd;
 
+  // Paper-exhibit timing: every repetition is a cold end-to-end run
+  // (join build + pipeline), so plan caching stays off here.
+  VoilaConfig voila_cfg;
+  voila_cfg.threads = threads.value();
+  voila_cfg.plan_cache = false;
+  for (EngineConfig* cfg : {&scalar_cfg, &simd_cfg, &hybrid_cfg}) {
+    cfg->threads = threads.value();
+    cfg->plan_cache = false;
+  }
+
   SsbEngine scalar_engine(db, scalar_cfg);
   SsbEngine simd_engine(db, simd_cfg);
   SsbEngine hybrid_engine(db, hybrid_cfg);
-  VoilaEngine voila_engine(db);
+  VoilaEngine voila_engine(db, voila_cfg);
 
   PerfCounters counters;
   TextTable table;

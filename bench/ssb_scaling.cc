@@ -13,6 +13,7 @@
 #include "common/flags.h"
 #include "common/text_table.h"
 #include "engine/engine.h"
+#include "exec/runtime.h"
 #include "ssb/database.h"
 #include "voila/voila_engine.h"
 
@@ -33,6 +34,9 @@ int Main(int argc, char** argv) {
   FlagParser flags;
   flags.AddString("sfs", "0.25,0.5,1", "comma-separated scale factors");
   flags.AddInt64("repetitions", 3, "measurement repetitions per query");
+  flags.AddString("threads", "auto",
+                  "worker threads per engine: auto (one per hardware "
+                  "thread) or a count; the paper's per-core exhibits use 1");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -44,6 +48,11 @@ int Main(int argc, char** argv) {
   }
   const std::vector<double> sfs = ParseSfs(flags.GetString("sfs"));
   const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("== SSB scale trend (Figs. 8-10 in one sweep) ==\n");
   std::printf("geomean over the ten figure queries; hybrid at the "
@@ -63,10 +72,18 @@ int Main(int argc, char** argv) {
     simd_cfg.flavor = Flavor::kSimd;
     EngineConfig hybrid_cfg;
     hybrid_cfg.flavor = Flavor::kHybrid;
+    // Paper-exhibit timing: every repetition is a cold end-to-end run.
+    VoilaConfig voila_cfg;
+    voila_cfg.threads = threads.value();
+    voila_cfg.plan_cache = false;
+    for (EngineConfig* cfg : {&scalar_cfg, &simd_cfg, &hybrid_cfg}) {
+      cfg->threads = threads.value();
+      cfg->plan_cache = false;
+    }
     SsbEngine scalar_engine(db, scalar_cfg);
     SsbEngine simd_engine(db, simd_cfg);
     SsbEngine hybrid_engine(db, hybrid_cfg);
-    VoilaEngine voila_engine(db);
+    VoilaEngine voila_engine(db, voila_cfg);
 
     double log_vs_scalar = 0, log_vs_simd = 0, log_vs_voila = 0;
     double hef_total_ms = 0;

@@ -1,0 +1,264 @@
+// Serving-throughput harness: replays an SSB query mix round-robin for a
+// fixed wall-clock duration and reports queries/sec plus latency
+// percentiles — the workload the execution runtime (persistent TaskPool,
+// work-stealing morsel scheduler, plan cache) exists for.
+//
+//   ssb_throughput --sf=1 --duration=10                  # warm plan cache
+//   ssb_throughput --sf=1 --duration=10 --cold_plans     # rebuild per run
+//   ssb_throughput --flavor=voila --threads=4 --json=out.json
+//
+// --cold_plans invalidates the plan cache before every query, reproducing
+// the pre-runtime behaviour (every Run rebuilds dimension hash tables and
+// Bloom filters); the warm/cold qps ratio is the plan cache's payoff.
+// Scheduler counters (exec.morsels_dispatched, exec.steals, ...) land in
+// the --json report's metrics dump.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/text_table.h"
+#include "engine/engine.h"
+#include "engine/reference.h"
+#include "exec/runtime.h"
+#include "ssb/database.h"
+#include "telemetry/bench_report.h"
+#include "telemetry/metrics.h"
+#include "voila/voila_engine.h"
+
+namespace hef {
+namespace {
+
+std::vector<QueryId> ParseMix(const std::string& text) {
+  if (text == "all") return AllQueries();
+  if (text == "figures") return PaperFigureQueries();
+  std::vector<QueryId> mix;
+  std::string item;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != ',') {
+      item += text[i];
+      continue;
+    }
+    const auto id = ParseQueryId(item);
+    HEF_CHECK_MSG(id.ok(), "bad query '%s' in --queries", item.c_str());
+    mix.push_back(id.value());
+    item.clear();
+  }
+  return mix;
+}
+
+// Exact percentile over the sorted sample vector (nearest-rank).
+double PercentileMs(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddDouble("sf", 1.0, "SSB scale factor");
+  flags.AddDouble("duration", 10.0, "measurement seconds");
+  flags.AddInt64("warmup", 1, "untimed passes over the mix before timing");
+  flags.AddString("flavor", "hybrid", "scalar | simd | hybrid | voila");
+  flags.AddString("queries", "all",
+                  "query mix: all | figures | comma-separated ids");
+  flags.AddString("threads", "auto",
+                  "worker threads: auto (one per hardware thread) or a "
+                  "count");
+  flags.AddBool("cold_plans", false,
+                "invalidate the plan cache before every query (the "
+                "pre-runtime rebuild-per-Run baseline)");
+  flags.AddBool("verify", true,
+                "cross-check one pass of the mix against the reference");
+  flags.AddString("json", "",
+                  "write a hef-bench-v1 JSON report to this path");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (flags.HelpRequested()) {
+    flags.PrintUsage(argv[0]);
+    return 0;
+  }
+
+  const double sf = flags.GetDouble("sf");
+  const double duration = flags.GetDouble("duration");
+  const auto warmup = static_cast<int>(flags.GetInt64("warmup"));
+  const bool cold_plans = flags.GetBool("cold_plans");
+  const std::string flavor_name = flags.GetString("flavor");
+  const std::vector<QueryId> mix = ParseMix(flags.GetString("queries"));
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    return 1;
+  }
+  HEF_CHECK_MSG(!mix.empty(), "empty query mix");
+
+  std::printf("== SSB serving throughput ==\n");
+  std::printf("flavor %s, %zu-query mix, %.1fs, threads=%s, plans %s\n",
+              flavor_name.c_str(), mix.size(), duration,
+              flags.GetString("threads").c_str(),
+              cold_plans ? "cold" : "warm");
+  std::printf("scale factor %.2f — generating data...\n", sf);
+  const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(sf);
+
+  // One engine, queried repeatedly — the serving shape. The voila flavor
+  // exercises the interpreter comparator on the same runtime.
+  std::unique_ptr<SsbEngine> hef_engine;
+  std::unique_ptr<VoilaEngine> voila_engine;
+  if (flavor_name == "voila") {
+    VoilaConfig config;
+    config.threads = threads.value();
+    voila_engine = std::make_unique<VoilaEngine>(db, config);
+  } else {
+    const auto flavor = FlavorByName(flavor_name);
+    if (!flavor.ok()) {
+      std::fprintf(stderr, "%s\n", flavor.status().ToString().c_str());
+      return 1;
+    }
+    EngineConfig config;
+    config.flavor = flavor.value();
+    config.threads = threads.value();
+    hef_engine = std::make_unique<SsbEngine>(db, config);
+  }
+  auto run = [&](QueryId id) {
+    return hef_engine != nullptr ? hef_engine->Run(id)
+                                 : voila_engine->Run(id);
+  };
+  auto invalidate = [&] {
+    if (hef_engine != nullptr) {
+      hef_engine->InvalidatePlanCache();
+    } else {
+      voila_engine->InvalidatePlanCache();
+    }
+  };
+
+  if (flags.GetBool("verify")) {
+    for (const QueryId id : mix) {
+      HEF_CHECK_MSG(run(id) == RunReferenceQuery(db, id), "%s mismatch",
+                    QueryName(id));
+    }
+    if (cold_plans) invalidate();
+  }
+  for (int w = 0; w < warmup; ++w) {
+    for (const QueryId id : mix) {
+      if (cold_plans) invalidate();
+      run(id);
+    }
+  }
+
+  auto& registry = telemetry::MetricsRegistry::Get();
+  const std::uint64_t morsels0 =
+      registry.counter("exec.morsels_dispatched").value();
+  const std::uint64_t steals0 = registry.counter("exec.steals").value();
+
+  // The replay loop: round-robin over the mix until the clock runs out,
+  // one latency sample per query execution.
+  std::vector<std::vector<double>> per_query_ms(mix.size());
+  std::vector<double> all_ms;
+  const std::uint64_t t_begin = MonotonicNanos();
+  const auto deadline =
+      t_begin + static_cast<std::uint64_t>(duration * 1e9);
+  std::size_t next = 0;
+  while (MonotonicNanos() < deadline) {
+    const QueryId id = mix[next % mix.size()];
+    if (cold_plans) invalidate();
+    const std::uint64_t q0 = MonotonicNanos();
+    run(id);
+    const double ms = static_cast<double>(MonotonicNanos() - q0) * 1e-6;
+    per_query_ms[next % mix.size()].push_back(ms);
+    all_ms.push_back(ms);
+    ++next;
+  }
+  const double elapsed =
+      static_cast<double>(MonotonicNanos() - t_begin) * 1e-9;
+
+  const std::uint64_t morsels =
+      registry.counter("exec.morsels_dispatched").value() - morsels0;
+  const std::uint64_t steals =
+      registry.counter("exec.steals").value() - steals0;
+  const auto pool_threads =
+      static_cast<int>(registry.gauge("exec.pool_threads").value());
+
+  std::sort(all_ms.begin(), all_ms.end());
+  const double qps = static_cast<double>(all_ms.size()) / elapsed;
+  const double p50 = PercentileMs(all_ms, 50);
+  const double p95 = PercentileMs(all_ms, 95);
+  const double p99 = PercentileMs(all_ms, 99);
+
+  telemetry::BenchReport report("ssb_throughput");
+  report.SetConfig("scale_factor", sf);
+  report.SetConfig("duration_s", duration);
+  report.SetConfig("flavor", flavor_name);
+  report.SetConfig("queries", flags.GetString("queries"));
+  report.SetConfig("threads", static_cast<std::int64_t>(threads.value()));
+  report.SetConfig("resolved_threads", exec::ResolveThreads(threads.value()));
+  report.SetConfig("cold_plans", cold_plans);
+
+  TextTable table;
+  table.AddRow({"query", "runs", "mean (ms)", "p50 (ms)", "p99 (ms)"});
+  for (std::size_t q = 0; q < mix.size(); ++q) {
+    auto& samples = per_query_ms[q];
+    if (samples.empty()) continue;
+    double sum = 0;
+    for (const double v : samples) sum += v;
+    const double mean = sum / static_cast<double>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    const double qp50 = PercentileMs(samples, 50);
+    const double qp99 = PercentileMs(samples, 99);
+    table.AddRow({QueryName(mix[q]),
+                  std::to_string(samples.size()),
+                  TextTable::Num(mean, 2), TextTable::Num(qp50, 2),
+                  TextTable::Num(qp99, 2)});
+    report.AddResult()
+        .Set("query", QueryName(mix[q]))
+        .Set("runs", static_cast<std::uint64_t>(samples.size()))
+        .Set("mean_ms", mean)
+        .Set("p50_ms", qp50)
+        .Set("p99_ms", qp99);
+  }
+  report.AddResult()
+      .Set("query", "TOTAL")
+      .Set("runs", static_cast<std::uint64_t>(all_ms.size()))
+      .Set("qps", qps)
+      .Set("p50_ms", p50)
+      .Set("p95_ms", p95)
+      .Set("p99_ms", p99)
+      .Set("elapsed_s", elapsed)
+      .Set("morsels_dispatched", morsels)
+      .Set("steals", steals)
+      .Set("pool_threads", pool_threads);
+
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("total: %zu queries in %.2fs -> %.1f queries/sec\n",
+              all_ms.size(), elapsed, qps);
+  std::printf("latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", p50, p95,
+              p99);
+  std::printf("scheduler: %llu morsels dispatched, %llu steals, %d pool "
+              "threads\n",
+              static_cast<unsigned long long>(morsels),
+              static_cast<unsigned long long>(steals), pool_threads);
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    report.IncludeMetrics();
+    const Status ws = report.WriteFile(json_path);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hef
+
+int main(int argc, char** argv) { return hef::Main(argc, argv); }

@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/text_table.h"
+#include "exec/runtime.h"
 #include "ssb/database.h"
 #include "voila/voila_engine.h"
 
@@ -21,6 +22,10 @@ int Main(int argc, char** argv) {
   flags.AddDouble("sf", 1.0, "SSB scale factor");
   flags.AddString("query", "2.1", "SSB query");
   flags.AddInt64("repetitions", 3, "measurement repetitions");
+  flags.AddString("threads", "1",
+                  "worker threads: auto or a count. Defaults to 1 because "
+                  "the LLC-miss columns attribute to the measuring thread "
+                  "only");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -37,6 +42,11 @@ int Main(int argc, char** argv) {
   }
   const QueryId query = query_r.value();
   const int repetitions = static_cast<int>(flags.GetInt64("repetitions"));
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("== Voila design-knob ablation ==\n");
   const double sf = flags.GetDouble("sf");
@@ -53,6 +63,8 @@ int Main(int argc, char** argv) {
     for (int vec : {64, 256, 1024, 4096, 16384}) {
       VoilaConfig config;
       config.vector_size = vec;
+      config.threads = threads.value();
+      config.plan_cache = false;  // cold end-to-end runs
       VoilaEngine engine(db, config);
       const auto m = bench::MeasureBest([&] { engine.Run(query); },
                                         repetitions, &counters);
@@ -68,6 +80,8 @@ int Main(int argc, char** argv) {
     table.AddRow({"prefetch", "group", "time (ms)", "LLC misses (10^6)"});
     VoilaConfig off;
     off.prefetch = false;
+    off.threads = threads.value();
+    off.plan_cache = false;
     VoilaEngine engine_off(db, off);
     const auto m_off = bench::MeasureBest([&] { engine_off.Run(query); },
                                           repetitions, &counters);
@@ -77,6 +91,8 @@ int Main(int argc, char** argv) {
     for (int group : {4, 16, 64}) {
       VoilaConfig config;
       config.prefetch_group = group;
+      config.threads = threads.value();
+      config.plan_cache = false;
       VoilaEngine engine(db, config);
       const auto m = bench::MeasureBest([&] { engine.Run(query); },
                                         repetitions, &counters);

@@ -1,7 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
-#include <thread>
+#include <atomic>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -10,6 +10,9 @@
 #include "engine/primitives.h"
 #include "engine/scan.h"
 #include "engine/star_plan.h"
+#include "exec/plan_cache.h"
+#include "exec/runtime.h"
+#include "exec/task_pool.h"
 #include "perf/perf_counters.h"
 #include "table/bloom_filter.h"
 #include "table/group_agg.h"
@@ -81,14 +84,58 @@ struct SsbEngine::Impl {
     }
   };
 
+  // One fully-built query: the bound plan plus its Bloom filters (which
+  // share the plan's lifetime so cache hits skip BuildBlooms too).
+  struct PlanEntry {
+    BoundPlan bound;
+    std::vector<std::unique_ptr<BloomFilter>> blooms;
+    std::uint64_t bloom_nanos = 0;
+  };
+
+  // Built plans keyed by query, reused across Run() calls while
+  // config.plan_cache is on.
+  exec::PlanCache<QueryId, PlanEntry> plan_cache{"engine.plan_cache"};
+
   Impl(const ssb::SsbDatabase& database, EngineConfig cfg)
       : db(database),
         config(cfg),
         main_buffers(static_cast<std::size_t>(cfg.block_size)) {
     HEF_CHECK_MSG(config.block_size >= 64, "block size %d too small",
                   config.block_size);
-    HEF_CHECK_MSG(config.threads >= 1 && config.threads <= 256,
+    HEF_CHECK_MSG(config.threads >= 0 && config.threads <= 256,
                   "thread count %d out of range", config.threads);
+  }
+
+  // Builds one query's plan + blooms. With multiple workers configured,
+  // the dimension hash tables build through the partitioned InsertBatch
+  // path on the persistent pool; layout and plan are identical either way.
+  PlanEntry BuildEntry(QueryId id) {
+    PlanEntry entry;
+    {
+      HEF_TRACE_SPAN("engine.build");
+      PlanBuildOptions options;
+      const int workers = exec::ResolveThreads(config.threads);
+      if (workers > 1) {
+        options.parallel_for = [workers](
+                                   int parts,
+                                   const std::function<void(int)>& fn) {
+          const int w = workers < parts ? workers : parts;
+          std::atomic<int> next{0};
+          exec::TaskPool::Get().Run(w, [&](int) {
+            int p;
+            while ((p = next.fetch_add(1)) < parts) fn(p);
+          });
+        };
+      }
+      entry.bound = BuildQueryPlan(db, id, options);
+    }
+    {
+      HEF_TRACE_SPAN("engine.bloom_build");
+      const std::uint64_t t0 = MonotonicNanos();
+      entry.blooms = BuildBlooms(entry.bound.plan);
+      if (!entry.blooms.empty()) entry.bloom_nanos = MonotonicNanos() - t0;
+    }
+    return entry;
   }
 
   // Builds one Bloom filter per join stage from the dimension tables'
@@ -436,16 +483,11 @@ struct SsbEngine::Impl {
     }
   }
 
-  QueryResult ExecutePlan(const StarPlan& plan) {
+  QueryResult ExecutePlan(
+      const StarPlan& plan,
+      const std::vector<std::unique_ptr<BloomFilter>>& blooms,
+      std::uint64_t bloom_nanos) {
     const bool stats = config.collect_stats;
-    std::uint64_t bloom_nanos = 0;
-    std::vector<std::unique_ptr<BloomFilter>> blooms;
-    {
-      HEF_TRACE_SPAN("engine.bloom_build");
-      const std::uint64_t t0 = stats ? MonotonicNanos() : 0;
-      blooms = BuildBlooms(plan);
-      if (stats && !blooms.empty()) bloom_nanos = MonotonicNanos() - t0;
-    }
     const std::size_t total = db.lineorder.n;
     const auto block = static_cast<std::size_t>(config.block_size);
 
@@ -462,9 +504,10 @@ struct SsbEngine::Impl {
           "engine.block_qualifying_rows");
     }
 
-    const int threads = std::min<int>(
-        config.threads,
-        static_cast<int>((total + block - 1) / block));
+    const std::size_t blocks_total = (total + block - 1) / block;
+    const int threads =
+        std::min<int>(exec::ResolveThreads(config.threads),
+                      static_cast<int>(blocks_total == 0 ? 1 : blocks_total));
     if (threads <= 1) {
       HEF_TRACE_SPAN("engine.pipeline");
       // perf fds count the opening thread, so the single-threaded path
@@ -482,12 +525,12 @@ struct SsbEngine::Impl {
                    &qualifying, stats ? &accs : nullptr, pmu.get(),
                    block_hist);
     } else {
-      // Morsel parallelism: contiguous block-aligned row ranges, one
-      // worker each, private accumulators merged at the end (group sums
-      // commute, so results are bit-identical to single-threaded).
-      const std::size_t blocks_total = (total + block - 1) / block;
-      const std::size_t blocks_per_worker =
-          (blocks_total + threads - 1) / threads;
+      // Morsel parallelism over the persistent pool: workers claim
+      // block-aligned morsels dynamically from the scheduler (stealing
+      // from loaded shards when their own drains, so a skewed or
+      // preempted worker no longer serializes the tail). Accumulators
+      // stay private and merge in worker order at the end — group sums
+      // commute, so results are bit-identical to single-threaded.
       std::vector<std::vector<std::uint64_t>> worker_agg(
           threads, std::vector<std::uint64_t>(plan.gid_domain, 0));
       std::vector<std::vector<std::uint64_t>> worker_cnt(
@@ -495,34 +538,34 @@ struct SsbEngine::Impl {
       std::vector<std::uint64_t> worker_qualifying(threads, 0);
       std::vector<std::vector<OpAcc>> worker_accs(
           threads, std::vector<OpAcc>(stats ? n_ops : 0));
-      std::vector<std::thread> workers;
-      workers.reserve(threads);
-      for (int t = 0; t < threads; ++t) {
-        const std::size_t begin =
-            std::min(total, t * blocks_per_worker * block);
-        const std::size_t end =
-            std::min(total, (t + 1) * blocks_per_worker * block);
-        workers.emplace_back([&, t, begin, end] {
-          HEF_TRACE_SPAN("engine.worker");
-          Buffers buffers(block);
-          // Each worker opens its own counter group: perf fds opened with
-          // pid=0 follow the opening thread only.
-          std::unique_ptr<PerfCounters> pmu;
-          if (stats && config.collect_pmu) {
-            pmu = std::make_unique<PerfCounters>();
-            if (pmu->available()) {
-              pmu->Start();
-            } else {
-              pmu.reset();
+      exec::RunMorsels(
+          blocks_total, threads,
+          [&](int t, exec::MorselScheduler& sched) {
+            HEF_TRACE_SPAN("engine.worker");
+            Buffers buffers(block);
+            // Each worker opens its own counter group: perf fds opened
+            // with pid=0 follow the opening thread only.
+            std::unique_ptr<PerfCounters> pmu;
+            if (stats && config.collect_pmu) {
+              pmu = std::make_unique<PerfCounters>();
+              if (pmu->available()) {
+                pmu->Start();
+              } else {
+                pmu.reset();
+              }
             }
-          }
-          ExecuteRange(plan, blooms, buffers, begin, end, worker_agg[t],
-                       worker_cnt[t], &worker_qualifying[t],
-                       stats ? &worker_accs[t] : nullptr, pmu.get(),
-                       block_hist);
-        });
-      }
-      for (std::thread& w : workers) w.join();
+            std::size_t blk_begin = 0;
+            std::size_t blk_end = 0;
+            while (sched.Next(t, &blk_begin, &blk_end)) {
+              std::uint64_t q = 0;
+              ExecuteRange(plan, blooms, buffers, blk_begin * block,
+                           std::min(total, blk_end * block), worker_agg[t],
+                           worker_cnt[t], &q,
+                           stats ? &worker_accs[t] : nullptr, pmu.get(),
+                           block_hist);
+              worker_qualifying[t] += q;
+            }
+          });
       for (int t = 0; t < threads; ++t) {
         qualifying += worker_qualifying[t];
         for (std::size_t g = 0; g < plan.gid_domain; ++g) {
@@ -562,6 +605,8 @@ SsbEngine::~SsbEngine() = default;
 
 const EngineConfig& SsbEngine::config() const { return impl_->config; }
 
+void SsbEngine::InvalidatePlanCache() { impl_->plan_cache.Invalidate(); }
+
 QueryResult SsbEngine::Run(QueryId id) {
   HEF_TRACE_SPAN("engine.query");
   const bool stats = impl_->config.collect_stats;
@@ -582,16 +627,25 @@ QueryResult SsbEngine::Run(QueryId id) {
     t0 = MonotonicNanos();
   }
 
-  BoundPlan bound;
-  {
-    HEF_TRACE_SPAN("engine.build");
-    bound = BuildQueryPlan(impl_->db, id);
+  // Resolve the plan: a cache hit reuses the dimension hash tables and
+  // Bloom filters built by an earlier Run; the "build" stats row then
+  // reports the (tiny) lookup cost, which is the build work this Run
+  // actually did. With the cache off, every Run builds fresh.
+  bool cache_hit = false;
+  const Impl::PlanEntry* entry = nullptr;
+  Impl::PlanEntry fresh;
+  if (impl_->config.plan_cache) {
+    entry = &impl_->plan_cache.GetOrBuild(
+        id, [&] { return impl_->BuildEntry(id); }, &cache_hit);
+  } else {
+    fresh = impl_->BuildEntry(id);
+    entry = &fresh;
   }
 
   if (stats) {
     build.wall_nanos = MonotonicNanos() - t0;
     build.invocations = 1;
-    for (const auto& table : bound.tables) {
+    for (const auto& table : entry->bound.tables) {
       build.rows_in += table->size();
       build.rows_out += table->size();
     }
@@ -602,7 +656,10 @@ QueryResult SsbEngine::Run(QueryId id) {
     }
   }
 
-  QueryResult result = impl_->ExecutePlan(bound.plan);
+  // On a cache hit no Bloom filters were built this Run, so suppress the
+  // build.bloom stats row (its nanos belong to the Run that missed).
+  QueryResult result = impl_->ExecutePlan(
+      entry->bound.plan, entry->blooms, cache_hit ? 0 : entry->bloom_nanos);
   if (stats) {
     result.operator_stats.insert(result.operator_stats.begin(),
                                  std::move(build));

@@ -32,8 +32,15 @@ class SsbEngine {
   SsbEngine& operator=(const SsbEngine&) = delete;
 
   // Executes one SSB query end to end (dimension hash-table build + fact
-  // pipeline) and returns its result rows sorted by group keys.
+  // pipeline) and returns its result rows sorted by group keys. With
+  // config.plan_cache (the default) the build phase — filtered dimension
+  // hash tables plus Bloom filters — runs once per QueryId and is reused
+  // by every later Run of the same query.
   QueryResult Run(QueryId id);
+
+  // Drops all cached plans; the next Run of each query rebuilds from the
+  // database. Call after mutating the database the engine was bound to.
+  void InvalidatePlanCache();
 
   const EngineConfig& config() const;
 

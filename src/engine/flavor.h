@@ -60,11 +60,18 @@ struct EngineConfig {
   // Only meaningful with collect_stats; silently degrades to wall-clock
   // stats when the PMU is unavailable.
   bool collect_pmu = false;
-  // Worker threads for the fact scan (morsel parallelism over blocks).
-  // The paper measures per-core behaviour, so benchmarks default to 1;
-  // results are bit-identical for any thread count (group sums are
-  // commutative).
-  int threads = 1;
+  // Worker threads for the fact scan (morsel parallelism over blocks,
+  // dispatched dynamically from the persistent exec::TaskPool with work
+  // stealing). 0 means "auto": one worker per hardware thread. Results
+  // are bit-identical for any thread count (group sums are commutative).
+  // The paper measures per-core behaviour, so the paper-exhibit
+  // benchmarks pin this to 1.
+  int threads = 0;
+  // Reuse built plans (filtered dimension hash tables + Bloom filters)
+  // across repeated Run() calls on the same engine, keyed by QueryId.
+  // Serving workloads want this on; paper-exhibit benchmarks that report
+  // end-to-end per-query time (build included) turn it off.
+  bool plan_cache = true;
 
   // The kernel coordinate this engine flavour runs at.
   HybridConfig ProbeConfig() const {

@@ -1,6 +1,7 @@
 #include "engine/star_plan.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/macros.h"
 #include "ssb/schema.h"
@@ -11,22 +12,32 @@ namespace {
 
 using ssb::SsbDatabase;
 
+// The parallel runner of the BuildQueryPlan call currently executing on
+// this thread (null -> serial builds). Thread-local so the recursive
+// builder helpers need no signature plumbing and concurrent
+// BuildQueryPlan calls on different threads stay independent.
+thread_local const LinearHashTable::ParallelFor* g_parallel_for = nullptr;
+
 // Builds a dimension hash table over rows passing `pred`, keyed by
-// `key_of(row)` with payload `payload_of(row)`.
+// `key_of(row)` with payload `payload_of(row)`. The qualifying pairs are
+// materialized once and bulk-inserted, so large builds can use the
+// partitioned parallel path of LinearHashTable::InsertBatch.
 std::unique_ptr<LinearHashTable> BuildDimTable(
     std::size_t n, const std::function<bool(std::size_t)>& pred,
     const std::function<std::uint64_t(std::size_t)>& key_of,
     const std::function<std::uint64_t(std::size_t)>& payload_of) {
-  std::size_t matches = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (pred(i)) ++matches;
-  }
-  auto table = std::make_unique<LinearHashTable>(matches == 0 ? 1 : matches);
+  std::vector<std::uint64_t> keys, payloads;
   for (std::size_t i = 0; i < n; ++i) {
     if (pred(i)) {
-      table->Insert(key_of(i), payload_of(i));
+      keys.push_back(key_of(i));
+      payloads.push_back(payload_of(i));
     }
   }
+  auto table =
+      std::make_unique<LinearHashTable>(keys.empty() ? 1 : keys.size());
+  table->InsertBatch(
+      keys.data(), payloads.data(), keys.size(),
+      g_parallel_for == nullptr ? nullptr : *g_parallel_for);
   return table;
 }
 
@@ -438,7 +449,15 @@ const char* FactColumnName(const ssb::LineorderFact& lo,
 }
 
 BoundPlan BuildQueryPlan(const SsbDatabase& db, QueryId id) {
+  return BuildQueryPlan(db, id, PlanBuildOptions{});
+}
+
+BoundPlan BuildQueryPlan(const SsbDatabase& db, QueryId id,
+                         const PlanBuildOptions& options) {
+  g_parallel_for =
+      options.parallel_for == nullptr ? nullptr : &options.parallel_for;
   BoundPlan bound = BuildQueryPlanUnordered(db, id);
+  g_parallel_for = nullptr;
   // Fix payload slots to schema order before any reordering: the plan's
   // gid/decode functions address payloads by these slots.
   for (std::size_t j = 0; j < bound.plan.joins.size(); ++j) {

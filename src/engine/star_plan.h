@@ -71,12 +71,24 @@ struct BoundPlan {
 const char* FactColumnName(const ssb::LineorderFact& lo,
                            const ssb::Column* col);
 
+// Options for the join build phase. `parallel_for` (when non-null) runs
+// fn(p) for p in [0, parts), possibly concurrently — the execution runtime
+// passes one backed by its worker pool so large dimension hash tables
+// build with partitioned parallel inserts (LinearHashTable::InsertBatch).
+// The produced plan is identical either way.
+struct PlanBuildOptions {
+  LinearHashTable::ParallelFor parallel_for;
+};
+
 // Builds the plan (including filtered dimension hash tables — the join
 // build phase) for one SSB query. Join stages are ordered most selective
 // first using the estimated selectivities (stable sort, so equal-estimate
 // stages keep schema order). Deterministic; build cost is part of query
-// execution time, as in the paper's measurements.
+// execution time, as in the paper's measurements (engines amortize it
+// across repeated runs through the exec::PlanCache).
 BoundPlan BuildQueryPlan(const ssb::SsbDatabase& db, QueryId id);
+BoundPlan BuildQueryPlan(const ssb::SsbDatabase& db, QueryId id,
+                         const PlanBuildOptions& options);
 
 }  // namespace hef
 

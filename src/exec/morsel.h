@@ -1,0 +1,77 @@
+// MorselScheduler — dynamic block dispatch with work stealing.
+//
+// Pre-PR engines carved the fact table into one static contiguous range
+// per worker. A bloom- or filter-skewed range then pins the whole query on
+// its slowest worker while the others idle — the static-split utilization
+// gap the Xeon Phi MapReduce study (PAPERS.md) measures. Here the unit of
+// dispatch is one pipeline block (EngineConfig::block_size rows), claimed
+// dynamically:
+//
+//   * the block space is split into one contiguous shard per worker, each
+//     held in a single packed 64-bit atomic {begin, end} cursor;
+//   * a worker claims blocks one at a time off the *front* of its own
+//     shard (one uncontended CAS per block_size rows — the shared morsel
+//     cursor, sharded for locality);
+//   * a worker whose shard is empty *steals the back half* of the fullest
+//     remaining shard and adopts it as its new shard — the work-stealing
+//     deque protocol applied to index ranges instead of task objects.
+//
+// Every block is claimed exactly once (the CAS either advances a cursor or
+// fails and retries), workers scan mostly-contiguous rows, and skew is
+// absorbed: a worker stuck on an expensive block loses the rest of its
+// shard to thieves instead of serializing the query. Results are unchanged
+// by construction — claimants only pick *which* private accumulator a
+// block lands in, and group sums commute.
+
+#ifndef HEF_EXEC_MORSEL_H_
+#define HEF_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace hef::exec {
+
+class MorselScheduler {
+ public:
+  // Schedules `total_blocks` blocks across `workers` shards.
+  MorselScheduler(std::size_t total_blocks, int workers);
+
+  // Claims the next block for `worker`. Returns false when every shard is
+  // exhausted (all blocks claimed). [*begin, *end) is a block-index range
+  // (currently always one block wide).
+  bool Next(int worker, std::size_t* begin, std::size_t* end);
+
+  std::uint64_t dispatched() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  int workers() const { return workers_; }
+
+ private:
+  // {begin, end} packed as (begin << 32) | end so claims and steals are
+  // single-word CAS transitions. Padded to a cache line: each shard is
+  // written mostly by its owner.
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> range{0};
+  };
+
+  static std::uint64_t Pack(std::uint32_t begin, std::uint32_t end) {
+    return (static_cast<std::uint64_t>(begin) << 32) | end;
+  }
+
+  bool ClaimFront(Shard& shard, std::size_t* begin, std::size_t* end);
+  bool StealBack(Shard& victim, std::uint32_t* begin, std::uint32_t* end);
+
+  int workers_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace hef::exec
+
+#endif  // HEF_EXEC_MORSEL_H_

@@ -1,0 +1,84 @@
+// PlanCache — keyed cache of bound query state for repeated execution.
+//
+// Pre-PR, every SsbEngine::Run(id) rebuilt the query's filtered dimension
+// hash tables and Bloom filters from scratch, so a process replaying the
+// same query mix paid the whole join build phase on every request. The
+// cache keeps one entry per key (the engines key by QueryId) for the
+// engine's lifetime; entries are heap-allocated so returned references
+// stay stable across later insertions. Invalidate() drops everything —
+// tests and benches use it to force cold-plan behaviour.
+//
+// Hit/miss counts feed the metrics registry under
+// "<metric_prefix>.hit" / "<metric_prefix>.miss" (the engines pass
+// "engine.plan_cache"). The template lives in exec so both SsbEngine and
+// VoilaEngine share one implementation without exec depending on the
+// engine's plan types.
+
+#ifndef HEF_EXEC_PLAN_CACHE_H_
+#define HEF_EXEC_PLAN_CACHE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "telemetry/metrics.h"
+
+namespace hef::exec {
+
+template <typename Key, typename Entry>
+class PlanCache {
+ public:
+  explicit PlanCache(const std::string& metric_prefix)
+      : hits_(telemetry::MetricsRegistry::Get().counter(metric_prefix +
+                                                        ".hit")),
+        misses_(telemetry::MetricsRegistry::Get().counter(metric_prefix +
+                                                          ".miss")) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached entry for `key`, invoking `build` on a miss. The
+  // returned reference stays valid until Invalidate(). The build runs
+  // under the cache lock: concurrent misses for the same key build once.
+  const Entry& GetOrBuild(const Key& key,
+                          const std::function<Entry()>& build,
+                          bool* hit = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.Increment();
+      if (hit != nullptr) *hit = true;
+      return *it->second;
+    }
+    misses_.Increment();
+    if (hit != nullptr) *hit = false;
+    auto entry = std::make_unique<Entry>(build());
+    const Entry& ref = *entry;
+    entries_.emplace(key, std::move(entry));
+    return ref;
+  }
+
+  // Drops every entry (references returned earlier become dangling).
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Entry>> entries_;
+  telemetry::Counter& hits_;
+  telemetry::Counter& misses_;
+};
+
+}  // namespace hef::exec
+
+#endif  // HEF_EXEC_PLAN_CACHE_H_

@@ -1,0 +1,66 @@
+#include "exec/runtime.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "telemetry/metrics.h"
+
+namespace hef::exec {
+
+int ResolveThreads(int configured) {
+  HEF_CHECK_MSG(configured >= 0 && configured <= kMaxPoolThreads,
+                "thread count %d out of range", configured);
+  return configured == 0 ? TaskPool::HardwareThreads() : configured;
+}
+
+Result<int> ParseThreadsFlag(const std::string& text) {
+  if (text == "auto" || text.empty()) return 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0 ||
+      value > kMaxPoolThreads) {
+    return Status::InvalidArgument("--threads must be auto or 0.." +
+                                   std::to_string(kMaxPoolThreads) +
+                                   ", got '" + text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+MorselRunInfo RunMorsels(
+    std::size_t total_blocks, int workers,
+    const std::function<void(int, MorselScheduler&)>& worker_fn) {
+  HEF_CHECK_MSG(workers >= 1, "worker count %d out of range", workers);
+  MorselScheduler scheduler(total_blocks, workers);
+  std::vector<std::uint64_t> busy_nanos(
+      static_cast<std::size_t>(workers), 0);
+  const std::uint64_t wall_t0 = MonotonicNanos();
+  TaskPool::Get().Run(workers, [&](int w) {
+    const std::uint64_t t0 = MonotonicNanos();
+    worker_fn(w, scheduler);
+    busy_nanos[static_cast<std::size_t>(w)] = MonotonicNanos() - t0;
+  });
+  const std::uint64_t wall = MonotonicNanos() - wall_t0;
+
+  MorselRunInfo info;
+  info.workers = workers;
+  info.dispatched = scheduler.dispatched();
+  info.steals = scheduler.steals();
+  std::uint64_t busy_total = 0;
+  for (const std::uint64_t b : busy_nanos) busy_total += b;
+  info.busy_fraction =
+      wall == 0 ? 1.0
+                : static_cast<double>(busy_total) /
+                      (static_cast<double>(wall) * workers);
+
+  auto& registry = telemetry::MetricsRegistry::Get();
+  registry.counter("exec.morsels_dispatched").Increment(info.dispatched);
+  registry.counter("exec.steals").Increment(info.steals);
+  registry.gauge("exec.pool_threads")
+      .Set(static_cast<double>(TaskPool::Get().spawned_threads()));
+  registry.gauge("exec.worker_busy_fraction").Set(info.busy_fraction);
+  return info;
+}
+
+}  // namespace hef::exec

@@ -1,0 +1,91 @@
+#include "exec/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/macros.h"
+
+namespace hef::exec {
+
+TaskPool& TaskPool::Get() {
+  // Function-local static: destroyed (and threads joined) at process exit,
+  // so leak checkers stay quiet and TSan sees a clean shutdown.
+  static TaskPool pool;
+  return pool;
+}
+
+int TaskPool::HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(std::min<unsigned>(
+                           hc, static_cast<unsigned>(kMaxPoolThreads)));
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int TaskPool::spawned_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void TaskPool::EnsureThreads(int wanted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wanted = std::min(wanted, kMaxPoolThreads);
+  while (static_cast<int>(threads_.size()) < wanted) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with nothing left to drain
+    std::function<void()> fn = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+void TaskPool::Run(int workers, const std::function<void(int)>& body) {
+  HEF_CHECK_MSG(workers >= 1 && workers <= kMaxPoolThreads,
+                "worker count %d out of range", workers);
+  if (workers == 1) {
+    body(0);
+    return;
+  }
+  EnsureThreads(workers - 1);
+
+  // Per-run completion latch: the last helper to finish wakes the caller.
+  // The latch lives on the caller's stack, so the helper must notify while
+  // holding done_mu — once it releases the lock it may not touch the
+  // condvar again, because the caller is then free to return and destroy
+  // it.
+  int remaining = workers - 1;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int w = 1; w < workers; ++w) {
+      queue_.push_back([&, w] {
+        body(w);
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return remaining == 0; });
+}
+
+}  // namespace hef::exec

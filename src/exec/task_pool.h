@@ -1,0 +1,68 @@
+// TaskPool — the process-wide persistent worker pool the execution runtime
+// schedules on.
+//
+// Pre-PR engines spawned fresh std::threads for every query, which is fine
+// for one-shot paper exhibits but dominates latency once the same process
+// serves thousands of repeated queries. The pool is created lazily on the
+// first parallel run, keeps its threads parked on a condition variable
+// between queries, and grows monotonically to the largest worker count any
+// run has asked for (capped at kMaxPoolThreads). Thread spawn cost is paid
+// once per process instead of once per query.
+//
+// The pool itself hands out whole per-worker run loops; fine-grained load
+// balancing happens one level down, in MorselScheduler (see morsel.h),
+// where idle workers steal block ranges from loaded ones.
+
+#ifndef HEF_EXEC_TASK_POOL_H_
+#define HEF_EXEC_TASK_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hef::exec {
+
+// Upper bound on pool threads (matches EngineConfig's thread-count range).
+inline constexpr int kMaxPoolThreads = 256;
+
+class TaskPool {
+ public:
+  // The process-wide pool. Constructed on first use; joined at exit.
+  static TaskPool& Get();
+
+  // std::thread::hardware_concurrency() with a floor of 1 (the value an
+  // EngineConfig::threads of 0, "auto", resolves to).
+  static int HardwareThreads();
+
+  // Runs body(0) .. body(workers - 1) and returns when all have finished.
+  // The calling thread participates as worker 0, so `workers == 1` runs
+  // entirely inline and a run can never deadlock waiting for pool
+  // capacity. Nested Run calls from inside a body are not supported (the
+  // engine run loops never nest).
+  void Run(int workers, const std::function<void(int)>& body);
+
+  // Pool threads spawned so far (excludes callers). For the
+  // exec.pool_threads gauge and tests.
+  int spawned_threads() const;
+
+  ~TaskPool();
+
+ private:
+  TaskPool() = default;
+
+  void EnsureThreads(int wanted);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace hef::exec
+
+#endif  // HEF_EXEC_TASK_POOL_H_

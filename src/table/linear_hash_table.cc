@@ -1,5 +1,7 @@
 #include "table/linear_hash_table.h"
 
+#include <vector>
+
 #include "algo/murmur.h"
 
 namespace hef {
@@ -47,6 +49,78 @@ void LinearHashTable::Insert(std::uint64_t key, std::uint64_t value) {
   keys_[slot] = key;
   values_[slot] = value;
   ++size_;
+}
+
+void LinearHashTable::InsertBatch(const std::uint64_t* batch_keys,
+                                  const std::uint64_t* batch_values,
+                                  std::size_t n,
+                                  const ParallelFor& parallel_for) {
+  // Small batches (or tables too small to partition meaningfully) take the
+  // serial path: the parallel build's two extra passes would cost more
+  // than they save.
+  constexpr std::size_t kParallelThreshold = 4096;
+  if (parallel_for == nullptr || n < kParallelThreshold ||
+      capacity_ < static_cast<std::size_t>(kBuildPartitions) * 64) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Insert(batch_keys[i], batch_values[i]);
+    }
+    return;
+  }
+  HEF_CHECK_MSG(size_ + n <= capacity_, "hash table full");
+
+  // Phase 1: hash every key once, in parallel over input slices.
+  std::vector<std::uint64_t> home(n);
+  const std::size_t slice =
+      (n + static_cast<std::size_t>(kBuildPartitions) - 1) /
+      static_cast<std::size_t>(kBuildPartitions);
+  parallel_for(kBuildPartitions, [&](int p) {
+    const std::size_t lo = static_cast<std::size_t>(p) * slice;
+    const std::size_t hi = lo + slice < n ? lo + slice : n;
+    for (std::size_t i = lo; i < hi; ++i) {
+      home[i] = HomeSlot(batch_keys[i]);
+    }
+  });
+
+  // Phase 2: per-partition inserts into disjoint slot regions, input
+  // order within each partition.
+  const std::size_t stride =
+      capacity_ / static_cast<std::size_t>(kBuildPartitions);
+  std::vector<std::vector<std::size_t>> spill(kBuildPartitions);
+  std::vector<std::size_t> inserted(kBuildPartitions, 0);
+  parallel_for(kBuildPartitions, [&](int p) {
+    const std::uint64_t region_lo = static_cast<std::uint64_t>(p) * stride;
+    const std::uint64_t region_hi = region_lo + stride;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t h = home[i];
+      if (h < region_lo || h >= region_hi) continue;
+      std::uint64_t slot = h;
+      bool placed = false;
+      while (slot < region_hi) {
+        if (keys_[slot] == kEmptyKey) {
+          keys_[slot] = batch_keys[i];
+          values_[slot] = batch_values[i];
+          placed = true;
+          ++count;
+          break;
+        }
+        HEF_CHECK_MSG(keys_[slot] != batch_keys[i], "duplicate key %llu",
+                      static_cast<unsigned long long>(batch_keys[i]));
+        ++slot;
+      }
+      if (!placed) spill[p].push_back(i);
+    }
+    inserted[p] = count;
+  });
+
+  // Phase 3: region-crossing spills go through the normal (wrapping)
+  // insert, serially, in partition-then-input order.
+  for (int p = 0; p < kBuildPartitions; ++p) size_ += inserted[p];
+  for (int p = 0; p < kBuildPartitions; ++p) {
+    for (const std::size_t i : spill[p]) {
+      Insert(batch_keys[i], batch_values[i]);
+    }
+  }
 }
 
 bool LinearHashTable::Lookup(std::uint64_t key, std::uint64_t* value) const {

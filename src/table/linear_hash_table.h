@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "common/aligned_buffer.h"
 #include "common/macros.h"
@@ -40,6 +41,30 @@ class LinearHashTable {
   // Inserts a unique key. Duplicate keys abort (dimension primary keys are
   // unique by construction); key must not equal kEmptyKey.
   void Insert(std::uint64_t key, std::uint64_t value);
+
+  // Invokes fn(p) for every p in [0, parts), possibly concurrently. The
+  // execution runtime supplies one backed by its worker pool; a null
+  // runner means "run serially inline".
+  using ParallelFor =
+      std::function<void(int parts, const std::function<void(int)>& fn)>;
+
+  // Bulk insert of `n` unique (key, value) pairs. With a non-null
+  // `parallel_for` and a large enough batch, the build is partitioned by
+  // home slot: the slot array is split into kBuildPartitions contiguous
+  // regions and partition p inserts exactly the keys whose home slot falls
+  // in region p, probing linearly but never past the region's end — so
+  // partitions touch disjoint slots and run concurrently. Keys whose probe
+  // sequence would cross a region boundary are spilled and inserted
+  // serially afterwards (rare at the default 0.25 load factor). The
+  // resulting layout depends only on the input order and the fixed
+  // partition count — not on worker count or timing — and every lookup
+  // finds the same payloads as a serial row-order build.
+  void InsertBatch(const std::uint64_t* batch_keys,
+                   const std::uint64_t* batch_values, std::size_t n,
+                   const ParallelFor& parallel_for = nullptr);
+
+  // Fixed partition count of the partitioned build (layout determinism).
+  static constexpr int kBuildPartitions = 8;
 
   // Scalar point lookup. Returns true and sets *value on hit.
   bool Lookup(std::uint64_t key, std::uint64_t* value) const;

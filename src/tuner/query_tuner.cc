@@ -29,6 +29,11 @@ QueryTuneResult TuneQueriesProbe(const ssb::SsbDatabase& db,
     config.probe_cfg = cfg;
     config.gather_cfg = options.gather;
     config.block_size = options.block_size;
+    // The tuner characterizes per-core kernel behaviour: one worker, and
+    // plan reuse on so repeated Runs time the probe pipeline, not the
+    // join build.
+    config.threads = 1;
+    config.plan_cache = true;
     SsbEngine engine(db, config);
     double total = 0;
     for (const QueryId id : queries) {

@@ -41,9 +41,16 @@ struct VoilaConfig {
   int prefetch_group = 16;
   // Collect per-stage statistics into QueryResult::operator_stats (same
   // layout as the HEF engine: build, filters, probes, group-by). Wall
-  // clock and row counts only — the interpreter is single-threaded and
-  // not PMU-bracketed.
+  // clock and row counts only, merged across workers — the interpreter
+  // is not PMU-bracketed.
   bool collect_stats = false;
+  // Worker threads interpreting vector-sized morsels (dynamic dispatch
+  // from the persistent exec::TaskPool, same scheduler as the HEF
+  // engine). 0 means "auto": one worker per hardware thread. Results are
+  // bit-identical for any thread count. Paper-exhibit benchmarks pin 1.
+  int threads = 0;
+  // Reuse built plans across repeated Run() calls, keyed by QueryId.
+  bool plan_cache = true;
 };
 
 class VoilaEngine {
@@ -56,6 +63,10 @@ class VoilaEngine {
   VoilaEngine& operator=(const VoilaEngine&) = delete;
 
   QueryResult Run(QueryId id);
+
+  // Drops all cached plans; the next Run of each query rebuilds from the
+  // database.
+  void InvalidatePlanCache();
 
   const VoilaConfig& config() const;
 

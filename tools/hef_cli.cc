@@ -24,6 +24,7 @@
 #include "common/text_table.h"
 #include "engine/engine.h"
 #include "engine/reference.h"
+#include "exec/runtime.h"
 #include "portmodel/port_model.h"
 #include "procinfo/cpu_features.h"
 #include "ssb/database.h"
@@ -150,6 +151,9 @@ int CmdQuery(int argc, char** argv) {
   flags.AddBool("stats", false,
                 "collect and print per-operator statistics (wall time, "
                 "rows, selectivity, PMU counters when available)");
+  flags.AddString("threads", "auto",
+                  "worker threads per engine: auto (one per hardware "
+                  "thread) or a count");
   flags.AddString("json", "",
                   "write a hef-bench-v1 JSON report (with per-operator "
                   "stats sections when --stats) to this path");
@@ -160,6 +164,11 @@ int CmdQuery(int argc, char** argv) {
   const auto query = ParseQueryId(flags.GetString("query"));
   if (!query.ok()) {
     std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
+  if (!threads.ok()) {
+    std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
     return 1;
   }
   const bool stats = flags.GetBool("stats");
@@ -185,6 +194,8 @@ int CmdQuery(int argc, char** argv) {
   report.SetConfig("query", QueryName(query.value()));
   report.SetConfig("scale_factor", flags.GetDouble("sf"));
   report.SetConfig("stats", stats);
+  report.SetConfig("threads",
+                   static_cast<std::int64_t>(threads.value()));
 
   TextTable timings;
   timings.AddRow({"engine", "time (ms)", "rows"});
@@ -213,20 +224,24 @@ int CmdQuery(int argc, char** argv) {
   scalar_cfg.flavor = Flavor::kScalar;
   scalar_cfg.collect_stats = stats;
   scalar_cfg.collect_pmu = stats;
+  scalar_cfg.threads = threads.value();
   SsbEngine scalar_engine(db, scalar_cfg);
   run("scalar", scalar_engine);
   EngineConfig simd_cfg;
   simd_cfg.flavor = Flavor::kSimd;
   simd_cfg.collect_stats = stats;
   simd_cfg.collect_pmu = stats;
+  simd_cfg.threads = threads.value();
   SsbEngine simd_engine(db, simd_cfg);
   run("simd", simd_engine);
   hybrid_cfg.collect_stats = stats;
   hybrid_cfg.collect_pmu = stats;
+  hybrid_cfg.threads = threads.value();
   SsbEngine hybrid_engine(db, hybrid_cfg);
   run("hybrid", hybrid_engine);
   VoilaConfig voila_cfg;
   voila_cfg.collect_stats = stats;
+  voila_cfg.threads = threads.value();
   VoilaEngine voila(db, voila_cfg);
   run("voila", voila);
   std::printf("\n%s\n", timings.ToString().c_str());
