@@ -6,20 +6,32 @@
 //   ssb_throughput --sf=1 --duration=10                  # warm plan cache
 //   ssb_throughput --sf=1 --duration=10 --cold_plans     # rebuild per run
 //   ssb_throughput --flavor=voila --threads=4 --json=out.json
+//   ssb_throughput --deadline_ms=5 --max_retries=2       # serving limits
 //
 // --cold_plans invalidates the plan cache before every query, reproducing
 // the pre-runtime behaviour (every Run rebuilds dimension hash tables and
 // Bloom filters); the warm/cold qps ratio is the plan cache's payoff.
 // Scheduler counters (exec.morsels_dispatched, exec.steals, ...) land in
 // the --json report's metrics dump.
+//
+// The replay loop exercises the serving contract: every query runs
+// through the fallible Run overload under an optional per-query deadline
+// (--deadline_ms), deadline-exceeded / cancelled / failed outcomes are
+// counted per query and in total, and retryable failures (Internal,
+// IoError — not deadline or cancellation) are retried up to --max_retries
+// times with jittered exponential backoff. --flavor=auto picks the best
+// flavour the host admits.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/macros.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/text_table.h"
 #include "engine/engine.h"
@@ -59,12 +71,38 @@ double PercentileMs(const std::vector<double>& sorted_ms, double p) {
   return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
 }
 
+// Only transient failures are worth retrying; a deadline or cancellation
+// would just expire again, and InvalidArgument/Unsupported are
+// deterministic.
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kInternal || code == StatusCode::kIoError;
+}
+
+// Jittered exponential backoff before retry `attempt` (1-based): capped
+// doubling scaled by U[0.5, 1.5) so a burst of failing replicas does not
+// retry in lockstep.
+void BackoffBeforeRetry(int attempt, Rng& rng) {
+  const int exp = std::min(attempt - 1, 6);
+  const double base_ms = 1.0 * static_cast<double>(1 << exp);
+  const double jitter = 0.5 + rng.NextDouble();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(base_ms * jitter));
+}
+
 int Main(int argc, char** argv) {
   FlagParser flags;
   flags.AddDouble("sf", 1.0, "SSB scale factor");
   flags.AddDouble("duration", 10.0, "measurement seconds");
   flags.AddInt64("warmup", 1, "untimed passes over the mix before timing");
-  flags.AddString("flavor", "hybrid", "scalar | simd | hybrid | voila");
+  flags.AddString("flavor", "hybrid",
+                  "scalar | simd | hybrid | voila | auto (best supported)");
+  flags.AddDouble("deadline_ms", 0.0,
+                  "per-query deadline in milliseconds (0 = none); "
+                  "queries exceeding it stop cooperatively and count as "
+                  "deadline_exceeded");
+  flags.AddInt64("max_retries", 0,
+                 "retries per query for transient failures (Internal / "
+                 "IoError), with jittered exponential backoff");
   flags.AddString("queries", "all",
                   "query mix: all | figures | comma-separated ids");
   flags.AddString("threads", "auto",
@@ -91,7 +129,9 @@ int Main(int argc, char** argv) {
   const double duration = flags.GetDouble("duration");
   const auto warmup = static_cast<int>(flags.GetInt64("warmup"));
   const bool cold_plans = flags.GetBool("cold_plans");
-  const std::string flavor_name = flags.GetString("flavor");
+  const double deadline_ms = flags.GetDouble("deadline_ms");
+  const auto max_retries = static_cast<int>(flags.GetInt64("max_retries"));
+  std::string flavor_name = flags.GetString("flavor");
   const std::vector<QueryId> mix = ParseMix(flags.GetString("queries"));
   const auto threads = exec::ParseThreadsFlag(flags.GetString("threads"));
   if (!threads.ok()) {
@@ -117,10 +157,16 @@ int Main(int argc, char** argv) {
     config.threads = threads.value();
     voila_engine = std::make_unique<VoilaEngine>(db, config);
   } else {
-    const auto flavor = FlavorByName(flavor_name);
+    // Serving admission: a named flavour the host cannot run is an
+    // error, "auto" falls back to the best supported one.
+    const auto flavor = ResolveFlavorFlag(flavor_name);
     if (!flavor.ok()) {
       std::fprintf(stderr, "%s\n", flavor.status().ToString().c_str());
       return 1;
+    }
+    if (flavor_name == "auto" || flavor_name.empty()) {
+      flavor_name = FlavorName(flavor.value());
+      std::printf("flavor auto -> %s\n", flavor_name.c_str());
     }
     EngineConfig config;
     config.flavor = flavor.value();
@@ -130,6 +176,10 @@ int Main(int argc, char** argv) {
   auto run = [&](QueryId id) {
     return hef_engine != nullptr ? hef_engine->Run(id)
                                  : voila_engine->Run(id);
+  };
+  auto run_ctx = [&](QueryId id, const exec::QueryContext& ctx) {
+    return hef_engine != nullptr ? hef_engine->Run(id, ctx)
+                                 : voila_engine->Run(id, ctx);
   };
   auto invalidate = [&] {
     if (hef_engine != nullptr) {
@@ -159,21 +209,60 @@ int Main(int argc, char** argv) {
   const std::uint64_t steals0 = registry.counter("exec.steals").value();
 
   // The replay loop: round-robin over the mix until the clock runs out,
-  // one latency sample per query execution.
+  // one latency sample per successful query execution. Each attempt runs
+  // under its own deadline context; transient failures retry with
+  // backoff, terminal outcomes are counted and the loop moves on — a
+  // serving process does not die because one request did.
   std::vector<std::vector<double>> per_query_ms(mix.size());
+  std::vector<std::uint64_t> per_query_timeouts(mix.size(), 0);
   std::vector<double> all_ms;
+  std::uint64_t n_cancelled = 0, n_deadline = 0, n_failed = 0,
+                n_retries = 0;
+  Rng backoff_rng(0x5eedf00dULL);
   const std::uint64_t t_begin = MonotonicNanos();
-  const auto deadline =
-      t_begin + static_cast<std::uint64_t>(duration * 1e9);
+  const auto t_end = t_begin + static_cast<std::uint64_t>(duration * 1e9);
   std::size_t next = 0;
-  while (MonotonicNanos() < deadline) {
-    const QueryId id = mix[next % mix.size()];
+  while (MonotonicNanos() < t_end) {
+    const std::size_t qi = next % mix.size();
+    const QueryId id = mix[qi];
     if (cold_plans) invalidate();
     const std::uint64_t q0 = MonotonicNanos();
-    run(id);
-    const double ms = static_cast<double>(MonotonicNanos() - q0) * 1e-6;
-    per_query_ms[next % mix.size()].push_back(ms);
-    all_ms.push_back(ms);
+    int attempt = 0;
+    while (true) {
+      exec::QueryContext ctx;
+      if (deadline_ms > 0) {
+        ctx = exec::QueryContext::WithDeadline(deadline_ms * 1e-3);
+      }
+      const Result<QueryResult> result = run_ctx(id, ctx);
+      if (result.ok()) {
+        const double ms =
+            static_cast<double>(MonotonicNanos() - q0) * 1e-6;
+        per_query_ms[qi].push_back(ms);
+        all_ms.push_back(ms);
+        break;
+      }
+      const StatusCode code = result.status().code();
+      if (code == StatusCode::kDeadlineExceeded) {
+        ++n_deadline;
+        ++per_query_timeouts[qi];
+        break;
+      }
+      if (code == StatusCode::kCancelled) {
+        ++n_cancelled;
+        break;
+      }
+      if (!IsRetryable(code) || attempt >= max_retries) {
+        ++n_failed;
+        if (n_failed <= 5) {
+          std::fprintf(stderr, "%s failed: %s\n", QueryName(id),
+                       result.status().ToString().c_str());
+        }
+        break;
+      }
+      ++attempt;
+      ++n_retries;
+      BackoffBeforeRetry(attempt, backoff_rng);
+    }
     ++next;
   }
   const double elapsed =
@@ -200,25 +289,31 @@ int Main(int argc, char** argv) {
   report.SetConfig("threads", static_cast<std::int64_t>(threads.value()));
   report.SetConfig("resolved_threads", exec::ResolveThreads(threads.value()));
   report.SetConfig("cold_plans", cold_plans);
+  report.SetConfig("deadline_ms", deadline_ms);
+  report.SetConfig("max_retries", static_cast<std::int64_t>(max_retries));
 
   TextTable table;
-  table.AddRow({"query", "runs", "mean (ms)", "p50 (ms)", "p99 (ms)"});
+  table.AddRow(
+      {"query", "runs", "timeouts", "mean (ms)", "p50 (ms)", "p99 (ms)"});
   for (std::size_t q = 0; q < mix.size(); ++q) {
     auto& samples = per_query_ms[q];
-    if (samples.empty()) continue;
+    if (samples.empty() && per_query_timeouts[q] == 0) continue;
     double sum = 0;
     for (const double v : samples) sum += v;
-    const double mean = sum / static_cast<double>(samples.size());
+    const double mean =
+        samples.empty() ? 0
+                        : sum / static_cast<double>(samples.size());
     std::sort(samples.begin(), samples.end());
     const double qp50 = PercentileMs(samples, 50);
     const double qp99 = PercentileMs(samples, 99);
-    table.AddRow({QueryName(mix[q]),
-                  std::to_string(samples.size()),
+    table.AddRow({QueryName(mix[q]), std::to_string(samples.size()),
+                  std::to_string(per_query_timeouts[q]),
                   TextTable::Num(mean, 2), TextTable::Num(qp50, 2),
                   TextTable::Num(qp99, 2)});
     report.AddResult()
         .Set("query", QueryName(mix[q]))
         .Set("runs", static_cast<std::uint64_t>(samples.size()))
+        .Set("timeouts", per_query_timeouts[q])
         .Set("mean_ms", mean)
         .Set("p50_ms", qp50)
         .Set("p99_ms", qp99);
@@ -231,13 +326,23 @@ int Main(int argc, char** argv) {
       .Set("p95_ms", p95)
       .Set("p99_ms", p99)
       .Set("elapsed_s", elapsed)
+      .Set("cancelled", n_cancelled)
+      .Set("deadline_exceeded", n_deadline)
+      .Set("failed", n_failed)
+      .Set("retries", n_retries)
       .Set("morsels_dispatched", morsels)
       .Set("steals", steals)
       .Set("pool_threads", pool_threads);
 
   std::printf("\n%s\n", table.ToString().c_str());
-  std::printf("total: %zu queries in %.2fs -> %.1f queries/sec\n",
+  std::printf("total: %zu ok queries in %.2fs -> %.1f queries/sec\n",
               all_ms.size(), elapsed, qps);
+  std::printf("outcomes: %llu cancelled, %llu deadline_exceeded, "
+              "%llu failed, %llu retries\n",
+              static_cast<unsigned long long>(n_cancelled),
+              static_cast<unsigned long long>(n_deadline),
+              static_cast<unsigned long long>(n_failed),
+              static_cast<unsigned long long>(n_retries));
   std::printf("latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", p50, p95,
               p99);
   std::printf("scheduler: %llu morsels dispatched, %llu steals, %d pool "

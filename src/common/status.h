@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnsupported,
   kIoError,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 // Returns a short human-readable name ("InvalidArgument", ...).
@@ -52,6 +54,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

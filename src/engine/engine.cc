@@ -10,6 +10,7 @@
 #include "engine/primitives.h"
 #include "engine/scan.h"
 #include "engine/star_plan.h"
+#include "exec/fault_injection.h"
 #include "exec/plan_cache.h"
 #include "exec/runtime.h"
 #include "exec/task_pool.h"
@@ -138,6 +139,22 @@ struct SsbEngine::Impl {
     return entry;
   }
 
+  // The fallible build used by the serving path: rejects an already-
+  // stopped context before doing any work, exposes the "engine.build"
+  // fault site, and converts build-time exceptions (including injected
+  // ones surfacing from pool workers) to Status::Internal.
+  Result<PlanEntry> TryBuildEntry(QueryId id,
+                                  const exec::QueryContext& ctx) {
+    HEF_RETURN_NOT_OK(ctx.Check());
+    HEF_FAULT_POINT_STATUS("engine.build");
+    try {
+      return BuildEntry(id);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("plan build failed for ") +
+                              QueryName(id) + ": " + e.what());
+    }
+  }
+
   // Builds one Bloom filter per join stage from the dimension tables'
   // key slabs (only when bloom_prefilter is enabled).
   std::vector<std::unique_ptr<BloomFilter>> BuildBlooms(
@@ -171,7 +188,8 @@ struct SsbEngine::Impl {
                     std::uint64_t* qualifying_out,
                     std::vector<OpAcc>* accs = nullptr,
                     const PerfCounters* pmu = nullptr,
-                    telemetry::Histogram* block_rows_hist = nullptr) {
+                    telemetry::Histogram* block_rows_hist = nullptr,
+                    const exec::QueryContext* ctx = nullptr) {
     const HybridConfig probe_cfg = config.ProbeConfig();
     const HybridConfig gather_cfg = config.GatherConfig();
     const Flavor flavor = config.flavor;
@@ -236,6 +254,10 @@ struct SsbEngine::Impl {
     int probed_count = 0;
 
     for (std::size_t b0 = row_begin; b0 < row_end; b0 += block) {
+      // Block boundary = cancellation granularity (and the fault site the
+      // robustness tests use to stop, stall, or blow up mid-query).
+      if (ctx != nullptr && HEF_UNLIKELY(ctx->ShouldStop())) break;
+      HEF_FAULT_POINT("engine.morsel");
       const std::size_t bn = std::min(block, row_end - b0);
       std::size_t n = bn;
       bool identity = true;  // rows == [b0, b0 + n)
@@ -486,7 +508,7 @@ struct SsbEngine::Impl {
   QueryResult ExecutePlan(
       const StarPlan& plan,
       const std::vector<std::unique_ptr<BloomFilter>>& blooms,
-      std::uint64_t bloom_nanos) {
+      std::uint64_t bloom_nanos, const exec::QueryContext* ctx = nullptr) {
     const bool stats = config.collect_stats;
     const std::size_t total = db.lineorder.n;
     const auto block = static_cast<std::size_t>(config.block_size);
@@ -523,7 +545,7 @@ struct SsbEngine::Impl {
       }
       ExecuteRange(plan, blooms, main_buffers, 0, total, agg, cnt,
                    &qualifying, stats ? &accs : nullptr, pmu.get(),
-                   block_hist);
+                   block_hist, ctx);
     } else {
       // Morsel parallelism over the persistent pool: workers claim
       // block-aligned morsels dynamically from the scheduler (stealing
@@ -562,10 +584,11 @@ struct SsbEngine::Impl {
                            std::min(total, blk_end * block), worker_agg[t],
                            worker_cnt[t], &q,
                            stats ? &worker_accs[t] : nullptr, pmu.get(),
-                           block_hist);
+                           block_hist, ctx);
               worker_qualifying[t] += q;
             }
-          });
+          },
+          ctx);
       for (int t = 0; t < threads; ++t) {
         qualifying += worker_qualifying[t];
         for (std::size_t g = 0; g < plan.gid_domain; ++g) {
@@ -596,6 +619,94 @@ struct SsbEngine::Impl {
     std::sort(result.rows.begin(), result.rows.end());
     return result;
   }
+
+  // The serving path behind Run(id, ctx): status in, status out — no
+  // aborts for anything a client request can cause. Exceptions escaping
+  // the pipeline (a worker threw; the TaskPool rethrew the first one at
+  // the join) become Status::Internal here.
+  Result<QueryResult> TryRun(QueryId id, const exec::QueryContext& ctx) {
+    HEF_TRACE_SPAN("engine.query");
+    HEF_RETURN_NOT_OK(CheckFlavorSupported(config.flavor));
+    HEF_RETURN_NOT_OK(ctx.Check());
+    const bool stats = config.collect_stats;
+
+    OperatorStats build;
+    std::unique_ptr<PerfCounters> pmu;
+    std::uint64_t t0 = 0;
+    if (stats) {
+      build.name = "build";
+      if (config.collect_pmu) {
+        pmu = std::make_unique<PerfCounters>();
+        if (pmu->available()) {
+          pmu->Start();
+        } else {
+          pmu.reset();
+        }
+      }
+      t0 = MonotonicNanos();
+    }
+
+    // Resolve the plan: a cache hit reuses the dimension hash tables and
+    // Bloom filters built by an earlier Run; the "build" stats row then
+    // reports the (tiny) lookup cost, which is the build work this Run
+    // actually did. With the cache off, every Run builds fresh. A failed
+    // build inserts nothing — the cache never holds a half-built plan.
+    bool cache_hit = false;
+    const PlanEntry* entry = nullptr;
+    PlanEntry fresh;
+    if (config.plan_cache) {
+      Result<const PlanEntry*> cached = plan_cache.TryGetOrBuild(
+          id,
+          [&]() -> Result<PlanEntry> { return TryBuildEntry(id, ctx); },
+          &cache_hit);
+      HEF_RETURN_NOT_OK(cached.status());
+      entry = cached.value();
+    } else {
+      Result<PlanEntry> built = TryBuildEntry(id, ctx);
+      HEF_RETURN_NOT_OK(built.status());
+      fresh = std::move(built).value();
+      entry = &fresh;
+    }
+
+    if (stats) {
+      build.wall_nanos = MonotonicNanos() - t0;
+      build.invocations = 1;
+      for (const auto& table : entry->bound.tables) {
+        build.rows_in += table->size();
+        build.rows_out += table->size();
+      }
+      if (pmu != nullptr) {
+        build.perf = pmu->Stop();
+        build.perf.elapsed_seconds =
+            static_cast<double>(build.wall_nanos) * 1e-9;
+      }
+    }
+
+    // On a cache hit no Bloom filters were built this Run, so suppress
+    // the build.bloom stats row (its nanos belong to the Run that
+    // missed).
+    QueryResult result;
+    try {
+      result = ExecutePlan(entry->bound.plan, entry->blooms,
+                           cache_hit ? 0 : entry->bloom_nanos, &ctx);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("query execution failed for ") +
+                              QueryName(id) + ": " + e.what());
+    } catch (...) {
+      return Status::Internal(
+          std::string("query execution failed for ") + QueryName(id) +
+          ": unknown exception");
+    }
+    // A stop mid-scan exits the loops without an error; the partial
+    // accumulators were merged into a partial result that must not look
+    // like a complete one. Report why the scan ended instead.
+    HEF_RETURN_NOT_OK(ctx.Check());
+    if (stats) {
+      result.operator_stats.insert(result.operator_stats.begin(),
+                                   std::move(build));
+    }
+    return result;
+  }
 };
 
 SsbEngine::SsbEngine(const ssb::SsbDatabase& db, EngineConfig config)
@@ -608,62 +719,21 @@ const EngineConfig& SsbEngine::config() const { return impl_->config; }
 void SsbEngine::InvalidatePlanCache() { impl_->plan_cache.Invalidate(); }
 
 QueryResult SsbEngine::Run(QueryId id) {
-  HEF_TRACE_SPAN("engine.query");
-  const bool stats = impl_->config.collect_stats;
+  // The abort-on-error convenience form runs through the same serving
+  // path with an unconstrained context: no token, no deadline, so only a
+  // genuine failure (or an armed fault) can make it non-OK — and tests
+  // and benches treat that as fatal, exactly as the pre-Status engine
+  // did.
+  Result<QueryResult> result = Run(id, exec::QueryContext());
+  HEF_CHECK_MSG(result.ok(), "SsbEngine::Run(%s) failed: %s", QueryName(id),
+                result.status().ToString().c_str());
+  return std::move(result).value();
+}
 
-  OperatorStats build;
-  std::unique_ptr<PerfCounters> pmu;
-  std::uint64_t t0 = 0;
-  if (stats) {
-    build.name = "build";
-    if (impl_->config.collect_pmu) {
-      pmu = std::make_unique<PerfCounters>();
-      if (pmu->available()) {
-        pmu->Start();
-      } else {
-        pmu.reset();
-      }
-    }
-    t0 = MonotonicNanos();
-  }
-
-  // Resolve the plan: a cache hit reuses the dimension hash tables and
-  // Bloom filters built by an earlier Run; the "build" stats row then
-  // reports the (tiny) lookup cost, which is the build work this Run
-  // actually did. With the cache off, every Run builds fresh.
-  bool cache_hit = false;
-  const Impl::PlanEntry* entry = nullptr;
-  Impl::PlanEntry fresh;
-  if (impl_->config.plan_cache) {
-    entry = &impl_->plan_cache.GetOrBuild(
-        id, [&] { return impl_->BuildEntry(id); }, &cache_hit);
-  } else {
-    fresh = impl_->BuildEntry(id);
-    entry = &fresh;
-  }
-
-  if (stats) {
-    build.wall_nanos = MonotonicNanos() - t0;
-    build.invocations = 1;
-    for (const auto& table : entry->bound.tables) {
-      build.rows_in += table->size();
-      build.rows_out += table->size();
-    }
-    if (pmu != nullptr) {
-      build.perf = pmu->Stop();
-      build.perf.elapsed_seconds =
-          static_cast<double>(build.wall_nanos) * 1e-9;
-    }
-  }
-
-  // On a cache hit no Bloom filters were built this Run, so suppress the
-  // build.bloom stats row (its nanos belong to the Run that missed).
-  QueryResult result = impl_->ExecutePlan(
-      entry->bound.plan, entry->blooms, cache_hit ? 0 : entry->bloom_nanos);
-  if (stats) {
-    result.operator_stats.insert(result.operator_stats.begin(),
-                                 std::move(build));
-  }
+Result<QueryResult> SsbEngine::Run(QueryId id,
+                                   const exec::QueryContext& ctx) {
+  Result<QueryResult> result = impl_->TryRun(id, ctx);
+  exec::RecordQueryOutcome(result.status());
   return result;
 }
 

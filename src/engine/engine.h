@@ -15,9 +15,11 @@
 
 #include <memory>
 
+#include "common/status.h"
 #include "engine/flavor.h"
 #include "engine/query_id.h"
 #include "engine/result.h"
+#include "exec/query_context.h"
 #include "ssb/database.h"
 
 namespace hef {
@@ -36,7 +38,24 @@ class SsbEngine {
   // config.plan_cache (the default) the build phase — filtered dimension
   // hash tables plus Bloom filters — runs once per QueryId and is reused
   // by every later Run of the same query.
+  //
+  // This form aborts on any failure (tests and paper-exhibit benches use
+  // it; nothing there is expected to fail). Serving callers use the
+  // fallible overload below.
   QueryResult Run(QueryId id);
+
+  // The serving-path form. Honours `ctx` cooperatively: cancellation and
+  // deadline are checked before the build, at every morsel claim, and at
+  // every pipeline block, so the call returns Cancelled /
+  // DeadlineExceeded within roughly one block of work after the stop
+  // condition arises (partial accumulators are discarded, the plan cache
+  // stays consistent). Admission-checks config.flavor on the host
+  // (Unsupported when the flavour cannot run here), and converts
+  // execution-time exceptions — including injected faults — to
+  // Status::Internal instead of terminating; the TaskPool threads survive
+  // and later Runs proceed. Every outcome is counted via
+  // exec::RecordQueryOutcome.
+  Result<QueryResult> Run(QueryId id, const exec::QueryContext& ctx);
 
   // Drops all cached plans; the next Run of each query rebuilds from the
   // database. Call after mutating the database the engine was bound to.

@@ -26,6 +26,19 @@ enum class Flavor {
 const char* FlavorName(Flavor flavor);
 Result<Flavor> FlavorByName(const std::string& name);
 
+// Serving-path admission: OK when this host can actually run `flavor`,
+// Unsupported when it cannot (simd/hybrid need an AVX2-or-better
+// lowering; scalar always admits). The kernels would otherwise degrade
+// to their scalar paths silently — acceptable for exploratory CLI use,
+// wrong for a server that advertised a SIMD flavour.
+Status CheckFlavorSupported(Flavor flavor);
+
+// Parses a --flavor flag for serving binaries: "auto" resolves to the
+// best flavour the host admits (hybrid with any vector ISA, scalar
+// otherwise); a named flavour must pass CheckFlavorSupported. Errors are
+// InvalidArgument (unknown name) or Unsupported (host cannot run it).
+Result<Flavor> ResolveFlavorFlag(const std::string& name);
+
 // Per-engine configuration. The hybrid kernel coordinates default to the
 // paper's SSB optimum (one SIMD + one scalar statement, pack of three,
 // §V-B); the tuner can override them per host.

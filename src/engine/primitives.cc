@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "hybrid/hybrid_grid.h"
+#include "procinfo/cpu_features.h"
 #include "table/linear_hash_table.h"
 
 namespace hef {
@@ -134,6 +135,29 @@ Result<Flavor> FlavorByName(const std::string& name) {
   if (name == "hybrid") return Flavor::kHybrid;
   return Status::InvalidArgument("unknown flavor '" + name +
                                  "' (expected scalar|simd|hybrid)");
+}
+
+Status CheckFlavorSupported(Flavor flavor) {
+  if (flavor == Flavor::kScalar) return Status::OK();
+  const CpuFeatures& cpu = CpuFeatures::Get();
+  if (cpu.BestIsa() == Isa::kScalar) {
+    return Status::Unsupported(
+        std::string("flavor '") + FlavorName(flavor) +
+        "' needs a vector ISA but this host has none usable (cpu: " +
+        (cpu.brand.empty() ? "unknown" : cpu.brand) + ")");
+  }
+  return Status::OK();
+}
+
+Result<Flavor> ResolveFlavorFlag(const std::string& name) {
+  if (name == "auto" || name.empty()) {
+    return CpuFeatures::Get().BestIsa() == Isa::kScalar ? Flavor::kScalar
+                                                        : Flavor::kHybrid;
+  }
+  Result<Flavor> parsed = FlavorByName(name);
+  HEF_RETURN_NOT_OK(parsed.status());
+  HEF_RETURN_NOT_OK(CheckFlavorSupported(parsed.value()));
+  return parsed;
 }
 
 }  // namespace hef

@@ -1,0 +1,87 @@
+#include "exec/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace hef::exec {
+
+std::atomic<int> FaultRegistry::armed_count_{0};
+
+FaultRegistry& FaultRegistry::Get() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  HEF_CHECK_MSG(spec.trigger_hit >= 1, "trigger_hit must be >= 1");
+  HEF_CHECK_MSG(spec.action != FaultAction::kError || !spec.status.ok(),
+                "kError fault armed with an OK status");
+  HEF_CHECK_MSG(spec.action != FaultAction::kCancel || spec.token != nullptr,
+                "kCancel fault armed without a token");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.find(point) == points_.end()) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  points_[point] = State{std::move(spec), 0};
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+}
+
+std::uint64_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+Status FaultRegistry::OnPoint(const char* point) {
+  // Snapshot the decision under the lock, act after releasing it: a stall
+  // must not serialize unrelated points, and Cancel/throw must not run
+  // with the registry locked.
+  FaultAction action;
+  int stall_ms = 0;
+  Status status;
+  CancellationToken* token = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    State& state = it->second;
+    ++state.hits;
+    const bool fire =
+        state.spec.repeat
+            ? state.hits >= static_cast<std::uint64_t>(state.spec.trigger_hit)
+            : state.hits == static_cast<std::uint64_t>(state.spec.trigger_hit);
+    if (!fire) return Status::OK();
+    action = state.spec.action;
+    stall_ms = state.spec.stall_ms;
+    status = state.spec.status;
+    token = state.spec.token;
+  }
+  switch (action) {
+    case FaultAction::kThrow:
+      throw FaultInjectedError(point);
+    case FaultAction::kStall:
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      return Status::OK();
+    case FaultAction::kError:
+      return status;
+    case FaultAction::kCancel:
+      token->Cancel();
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace hef::exec

@@ -1,0 +1,120 @@
+// Deterministic fault injection for robustness tests.
+//
+// Production code marks interesting failure sites with
+// HEF_FAULT_POINT("subsystem.site"); tests arm a site through the
+// process-wide FaultRegistry to throw, stall, return an error Status, or
+// cancel a token on the Nth time execution passes it. Nothing is armed in
+// normal operation, and the unarmed fast path is a single relaxed atomic
+// load feeding a predictable branch — cheap enough for per-block
+// placement in the engine pipelines.
+//
+// Two macro forms:
+//   HEF_FAULT_POINT(name)         for void contexts — fires throw / stall
+//                                 / cancel actions; an armed kError action
+//                                 here is a test bug (the Status would be
+//                                 dropped) and aborts.
+//   HEF_FAULT_POINT_STATUS(name)  inside Status/Result functions — like
+//                                 the above, but a kError action returns
+//                                 the armed Status from the enclosing
+//                                 function via HEF_RETURN_NOT_OK.
+//
+// Sites fire deterministically: arming specifies the 1-based hit number
+// that triggers, and optionally that every later hit triggers too. Hit
+// counters are kept per site while armed, so tests can also assert a
+// site was actually reached.
+
+#ifndef HEF_EXEC_FAULT_INJECTION_H_
+#define HEF_EXEC_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "common/status.h"
+#include "exec/query_context.h"
+
+namespace hef::exec {
+
+// The exception kThrow injects; catch sites convert it (like any other
+// task exception) to Status::Internal.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& point)
+      : std::runtime_error("injected fault at " + point) {}
+};
+
+enum class FaultAction {
+  kThrow,   // throw FaultInjectedError from the point
+  kStall,   // sleep stall_ms, then continue
+  kError,   // return `status` (HEF_FAULT_POINT_STATUS sites only)
+  kCancel,  // cancel `token`, then continue
+};
+
+struct FaultSpec {
+  FaultAction action = FaultAction::kThrow;
+  // Fires when the site's hit counter reaches this value (1-based)...
+  int trigger_hit = 1;
+  // ...and, when set, on every hit after it as well.
+  bool repeat = false;
+  int stall_ms = 0;                             // kStall
+  Status status = Status::Internal("injected fault");  // kError
+  CancellationToken* token = nullptr;           // kCancel
+};
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& Get();
+
+  // Arms `point` (replacing any previous spec) and resets its hit count.
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  // Hits observed since the point was armed; 0 for unarmed points.
+  std::uint64_t hits(const std::string& point) const;
+
+  // The macro body. Counts a hit on an armed `point` and performs its
+  // action; returns non-OK only for kError.
+  Status OnPoint(const char* point);
+
+  // The unarmed fast-path gate: true while any point is armed anywhere.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct State {
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+  };
+
+  FaultRegistry() = default;
+
+  static std::atomic<int> armed_count_;
+  mutable std::mutex mu_;
+  std::map<std::string, State> points_;
+};
+
+}  // namespace hef::exec
+
+#define HEF_FAULT_POINT(name)                                            \
+  do {                                                                   \
+    if (HEF_UNLIKELY(::hef::exec::FaultRegistry::AnyArmed())) {          \
+      const ::hef::Status _fault_st =                                    \
+          ::hef::exec::FaultRegistry::Get().OnPoint(name);               \
+      HEF_CHECK_MSG(_fault_st.ok(),                                      \
+                    "kError fault armed at void point %s", name);        \
+    }                                                                    \
+  } while (0)
+
+#define HEF_FAULT_POINT_STATUS(name)                                     \
+  do {                                                                   \
+    if (HEF_UNLIKELY(::hef::exec::FaultRegistry::AnyArmed())) {          \
+      HEF_RETURN_NOT_OK(::hef::exec::FaultRegistry::Get().OnPoint(name)); \
+    }                                                                    \
+  } while (0)
+
+#endif  // HEF_EXEC_FAULT_INJECTION_H_

@@ -68,6 +68,15 @@ bool MorselScheduler::StealBack(Shard& victim, std::uint32_t* begin,
 bool MorselScheduler::Next(int worker, std::size_t* begin,
                            std::size_t* end) {
   HEF_DCHECK(worker >= 0 && worker < workers_);
+  // Morsel-boundary stop check: one relaxed load when nothing is
+  // attached; with a context, cancellation and deadline are honoured
+  // before handing out more work — on every worker at once, since the
+  // first observer trips the shared stop flag.
+  if (HEF_UNLIKELY(stopped_.load(std::memory_order_relaxed))) return false;
+  if (ctx_ != nullptr && HEF_UNLIKELY(ctx_->ShouldStop())) {
+    Stop();
+    return false;
+  }
   while (true) {
     if (ClaimFront(shards_[worker], begin, end)) {
       dispatched_.fetch_add(1, std::memory_order_relaxed);

@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "exec/query_context.h"
+
 namespace hef::exec {
 
 class MorselScheduler {
@@ -39,9 +41,23 @@ class MorselScheduler {
   MorselScheduler(std::size_t total_blocks, int workers);
 
   // Claims the next block for `worker`. Returns false when every shard is
-  // exhausted (all blocks claimed). [*begin, *end) is a block-index range
-  // (currently always one block wide).
+  // exhausted (all blocks claimed), after Stop(), or once an attached
+  // QueryContext reports cancellation or an expired deadline. [*begin,
+  // *end) is a block-index range (currently always one block wide).
   bool Next(int worker, std::size_t* begin, std::size_t* end);
+
+  // Makes every subsequent Next() return false on every worker — the
+  // cooperative bail-out for cancellation, deadlines, and failed workers.
+  // Already-claimed morsels finish; no new ones are handed out.
+  void Stop() { stopped_.store(true, std::memory_order_relaxed); }
+  bool stopped() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
+  // Attaches the query's context; Next() then performs the per-morsel
+  // stop check (the morsel boundary is the cancellation granularity).
+  // The context must outlive the run.
+  void set_context(const QueryContext* ctx) { ctx_ = ctx; }
 
   std::uint64_t dispatched() const {
     return dispatched_.load(std::memory_order_relaxed);
@@ -70,6 +86,8 @@ class MorselScheduler {
   std::unique_ptr<Shard[]> shards_;
   std::atomic<std::uint64_t> dispatched_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stopped_{false};
+  const QueryContext* ctx_ = nullptr;
 };
 
 }  // namespace hef::exec

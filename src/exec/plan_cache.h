@@ -24,6 +24,7 @@
 #include <string>
 #include <utility>
 
+#include "common/status.h"
 #include "telemetry/metrics.h"
 
 namespace hef::exec {
@@ -57,6 +58,33 @@ class PlanCache {
     if (hit != nullptr) *hit = false;
     auto entry = std::make_unique<Entry>(build());
     const Entry& ref = *entry;
+    entries_.emplace(key, std::move(entry));
+    return ref;
+  }
+
+  // The fallible form the serving path uses: `build` may fail (bad input,
+  // cancellation during the build, an injected fault converted to Status)
+  // and the failure propagates to the caller while the cache stays
+  // consistent — a failed build inserts nothing, counts no hit, and the
+  // next request for the same key simply builds again. A build that
+  // throws leaves the cache equally untouched (the insert happens only
+  // after `build` returns).
+  Result<const Entry*> TryGetOrBuild(
+      const Key& key, const std::function<Result<Entry>()>& build,
+      bool* hit = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.Increment();
+      if (hit != nullptr) *hit = true;
+      return static_cast<const Entry*>(it->second.get());
+    }
+    if (hit != nullptr) *hit = false;
+    Result<Entry> built = build();
+    if (!built.ok()) return built.status();
+    misses_.Increment();
+    auto entry = std::make_unique<Entry>(std::move(built).value());
+    const Entry* ref = entry.get();
     entries_.emplace(key, std::move(entry));
     return ref;
   }

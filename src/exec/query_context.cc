@@ -1,0 +1,22 @@
+#include "exec/query_context.h"
+
+#include <string>
+
+namespace hef::exec {
+
+Status QueryContext::Check() const {
+  if (token_ != nullptr && token_->cancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (deadline_nanos_ != 0) {
+    const std::uint64_t now = MonotonicNanos();
+    if (now >= deadline_nanos_) {
+      return Status::DeadlineExceeded(
+          "query deadline exceeded by " +
+          std::to_string((now - deadline_nanos_) / 1000000) + " ms");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hef::exec

@@ -1,0 +1,85 @@
+// QueryContext — per-query cancellation and deadline plumbing.
+//
+// The serving path ("heavy traffic from millions of users", ROADMAP) needs
+// queries that can be abandoned: a client disconnects, a latency budget
+// expires, an operator drains a host. Both engines accept a QueryContext
+// on their fallible Run overload and check it cooperatively at morsel
+// boundaries — one block of work (EngineConfig::block_size rows) is the
+// cancellation granularity, so a stop request is honoured within a single
+// block's execution time and partial accumulators are simply discarded.
+//
+// The check is designed for the hot loop: no token and no deadline cost
+// one predictable branch each; an armed deadline adds one clock read per
+// block (~4k rows), which is noise next to the block's kernel work.
+
+#ifndef HEF_EXEC_QUERY_CONTEXT_H_
+#define HEF_EXEC_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace hef::exec {
+
+// A cooperative cancel flag, shareable between the thread driving a query
+// and any thread that wants to abandon it. Cancellation is level-
+// triggered and sticky until Reset(): every QueryContext observing the
+// token reports Cancelled from the moment Cancel() is called.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  // Re-arms the token for the next query (serving loops reuse tokens).
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class QueryContext {
+ public:
+  QueryContext() = default;
+
+  // A context whose deadline is `seconds` from now on the monotonic
+  // timeline (<= 0 produces an already-expired deadline).
+  static QueryContext WithDeadline(double seconds) {
+    QueryContext ctx;
+    ctx.set_deadline_nanos(
+        seconds <= 0
+            ? MonotonicNanos()
+            : MonotonicNanos() + static_cast<std::uint64_t>(seconds * 1e9));
+    return ctx;
+  }
+
+  // The token must outlive every Run using this context.
+  void set_token(CancellationToken* token) { token_ = token; }
+  CancellationToken* token() const { return token_; }
+
+  // Absolute CLOCK_MONOTONIC_RAW deadline; 0 means "none".
+  void set_deadline_nanos(std::uint64_t nanos) { deadline_nanos_ = nanos; }
+  std::uint64_t deadline_nanos() const { return deadline_nanos_; }
+  bool has_deadline() const { return deadline_nanos_ != 0; }
+
+  // The hot-loop form: true once the query should stop (cancelled or past
+  // deadline). Branch-only when neither a token nor a deadline is set.
+  bool ShouldStop() const {
+    if (token_ != nullptr && token_->cancelled()) return true;
+    return deadline_nanos_ != 0 && MonotonicNanos() >= deadline_nanos_;
+  }
+
+  // OK, Cancelled, or DeadlineExceeded. Cancellation wins when both hold
+  // (the caller asked first; the deadline merely passed meanwhile).
+  Status Check() const;
+
+ private:
+  CancellationToken* token_ = nullptr;
+  std::uint64_t deadline_nanos_ = 0;
+};
+
+}  // namespace hef::exec
+
+#endif  // HEF_EXEC_QUERY_CONTEXT_H_

@@ -30,15 +30,26 @@ Result<int> ParseThreadsFlag(const std::string& text) {
 
 MorselRunInfo RunMorsels(
     std::size_t total_blocks, int workers,
-    const std::function<void(int, MorselScheduler&)>& worker_fn) {
+    const std::function<void(int, MorselScheduler&)>& worker_fn,
+    const QueryContext* ctx) {
   HEF_CHECK_MSG(workers >= 1, "worker count %d out of range", workers);
   MorselScheduler scheduler(total_blocks, workers);
+  scheduler.set_context(ctx);
   std::vector<std::uint64_t> busy_nanos(
       static_cast<std::size_t>(workers), 0);
   const std::uint64_t wall_t0 = MonotonicNanos();
   TaskPool::Get().Run(workers, [&](int w) {
     const std::uint64_t t0 = MonotonicNanos();
-    worker_fn(w, scheduler);
+    // A throwing worker stops the scheduler before propagating into the
+    // pool's capture slot, so surviving workers stop claiming morsels and
+    // the join (and the error) reaches the caller quickly.
+    try {
+      worker_fn(w, scheduler);
+    } catch (...) {
+      scheduler.Stop();
+      busy_nanos[static_cast<std::size_t>(w)] = MonotonicNanos() - t0;
+      throw;
+    }
     busy_nanos[static_cast<std::size_t>(w)] = MonotonicNanos() - t0;
   });
   const std::uint64_t wall = MonotonicNanos() - wall_t0;
@@ -61,6 +72,22 @@ MorselRunInfo RunMorsels(
       .Set(static_cast<double>(TaskPool::Get().spawned_threads()));
   registry.gauge("exec.worker_busy_fraction").Set(info.busy_fraction);
   return info;
+}
+
+void RecordQueryOutcome(const Status& status) {
+  if (status.ok()) return;
+  auto& registry = telemetry::MetricsRegistry::Get();
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      registry.counter("exec.queries_cancelled").Increment();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      registry.counter("exec.queries_deadline_exceeded").Increment();
+      break;
+    default:
+      registry.counter("exec.queries_failed").Increment();
+      break;
+  }
 }
 
 }  // namespace hef::exec

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "exec/morsel.h"
+#include "exec/query_context.h"
 #include "exec/task_pool.h"
 
 namespace hef::exec {
@@ -48,9 +49,30 @@ struct MorselRunInfo {
 // (scratch buffers, accumulators, PMU group) and loops
 // `while (scheduler.Next(worker, &b, &e)) ...` until the block space is
 // drained. Blocks until all workers return.
+//
+// With a non-null `ctx`, the scheduler checks cancellation/deadline at
+// every morsel claim and stops dispatch across all workers once the
+// context reports a stop; the caller reads ctx->Check() after the join
+// to learn why the scan ended early. A worker_fn that throws follows the
+// TaskPool contract: the remaining workers drain (the scheduler is
+// stopped so they drain fast) and the first exception rethrows here on
+// the calling thread.
 MorselRunInfo RunMorsels(
     std::size_t total_blocks, int workers,
-    const std::function<void(int, MorselScheduler&)>& worker_fn);
+    const std::function<void(int, MorselScheduler&)>& worker_fn,
+    const QueryContext* ctx = nullptr);
+
+// Serving-outcome accounting for a finished fallible Run. OK counts
+// nothing; non-OK statuses bump exactly one of
+//
+//   exec.queries_cancelled          counter — Cancelled
+//   exec.queries_deadline_exceeded  counter — DeadlineExceeded
+//   exec.queries_failed             counter — every other error
+//
+// Both engines call this from their Result-returning Run overloads, so
+// callers (benches, servers) get outcome counts without instrumenting
+// each call site.
+void RecordQueryOutcome(const Status& status);
 
 }  // namespace hef::exec
 

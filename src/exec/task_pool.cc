@@ -2,10 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "common/macros.h"
+#include "telemetry/metrics.h"
 
 namespace hef::exec {
+
+namespace {
+
+telemetry::Counter& TaskExceptionCounter() {
+  static telemetry::Counter& counter =
+      telemetry::MetricsRegistry::Get().counter("exec.task_exceptions");
+  return counter;
+}
+
+}  // namespace
 
 TaskPool& TaskPool::Get() {
   // Function-local static: destroyed (and threads joined) at process exit,
@@ -50,7 +62,17 @@ void TaskPool::WorkerLoop() {
     std::function<void()> fn = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    fn();
+    // Last-resort containment: closures queued by Run capture their own
+    // exceptions, so nothing should reach this handler — but an uncaught
+    // exception on a pool thread would std::terminate the process, so the
+    // loop never trusts fn(). A task swallowed here still ran its
+    // completion protocol iff the closure's own capture path did; a raw
+    // throw is counted and dropped.
+    try {
+      fn();
+    } catch (...) {
+      TaskExceptionCounter().Increment();
+    }
     lock.lock();
   }
 }
@@ -59,6 +81,8 @@ void TaskPool::Run(int workers, const std::function<void(int)>& body) {
   HEF_CHECK_MSG(workers >= 1 && workers <= kMaxPoolThreads,
                 "worker count %d out of range", workers);
   if (workers == 1) {
+    // Inline run: an exception propagates directly to the caller, which
+    // is already the rethrow-at-join contract.
     body(0);
     return;
   }
@@ -68,24 +92,46 @@ void TaskPool::Run(int workers, const std::function<void(int)>& body) {
   // The latch lives on the caller's stack, so the helper must notify while
   // holding done_mu — once it releases the lock it may not touch the
   // condvar again, because the caller is then free to return and destroy
-  // it.
+  // it. The first exception any worker throws is captured under the same
+  // lock; later exceptions are only counted (the first is the one a
+  // fallible caller reports).
   int remaining = workers - 1;
   std::mutex done_mu;
   std::condition_variable done_cv;
+  std::exception_ptr first_exception;
+  auto capture = [&] {
+    TaskExceptionCounter().Increment();
+    std::lock_guard<std::mutex> done_lock(done_mu);
+    if (first_exception == nullptr) {
+      first_exception = std::current_exception();
+    }
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int w = 1; w < workers; ++w) {
       queue_.push_back([&, w] {
-        body(w);
+        try {
+          body(w);
+        } catch (...) {
+          capture();
+        }
         std::lock_guard<std::mutex> done_lock(done_mu);
         if (--remaining == 0) done_cv.notify_one();
       });
     }
   }
   cv_.notify_all();
-  body(0);
-  std::unique_lock<std::mutex> done_lock(done_mu);
-  done_cv.wait(done_lock, [&] { return remaining == 0; });
+  try {
+    body(0);
+  } catch (...) {
+    capture();
+  }
+  {
+    std::unique_lock<std::mutex> done_lock(done_mu);
+    done_cv.wait(done_lock, [&] { return remaining == 0; });
+  }
+  // All workers have finished and released the latch; safe to unwind.
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 }  // namespace hef::exec

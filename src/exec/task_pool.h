@@ -12,6 +12,15 @@
 // The pool itself hands out whole per-worker run loops; fine-grained load
 // balancing happens one level down, in MorselScheduler (see morsel.h),
 // where idle workers steal block ranges from loaded ones.
+//
+// Exception safety: a serving pool must outlive any single bad query. A
+// task body that throws (std::bad_alloc, an injected fault, a bug in an
+// engine worker loop) is caught where it runs; the first exception of a
+// Run is captured, the remaining workers of that Run complete normally,
+// and the exception is rethrown on the *calling* thread at the join
+// point — never on a pool thread, so the pool's threads survive every
+// Run. Callers on fallible paths convert the rethrown exception to
+// hef::Status. Each capture counts into the exec.task_exceptions metric.
 
 #ifndef HEF_EXEC_TASK_POOL_H_
 #define HEF_EXEC_TASK_POOL_H_
@@ -42,6 +51,11 @@ class TaskPool {
   // entirely inline and a run can never deadlock waiting for pool
   // capacity. Nested Run calls from inside a body are not supported (the
   // engine run loops never nest).
+  //
+  // If any body throws, every other body still runs to completion and the
+  // first captured exception is rethrown here, on the calling thread,
+  // after the join. The pool itself is unaffected and immediately
+  // serviceable for the next Run.
   void Run(int workers, const std::function<void(int)>& body);
 
   // Pool threads spawned so far (excludes callers). For the

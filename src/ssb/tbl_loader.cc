@@ -1,0 +1,269 @@
+#include "ssb/tbl_loader.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+#include <vector>
+
+namespace hef::ssb {
+
+namespace {
+
+// Column vectors parsed from one .tbl file (column-major so the copy
+// into AlignedBuffers is a straight memcpy per column).
+using ParsedTable = std::vector<std::vector<std::uint64_t>>;
+
+std::string Describe(const std::string& path, std::size_t line) {
+  return path + ":" + std::to_string(line);
+}
+
+// Parses one "v|v|...|v|" line into `row` (exactly cols fields).
+Status ParseLine(const std::string& text, std::size_t cols,
+                 const std::string& path, std::size_t line_no,
+                 std::vector<std::uint64_t>& row) {
+  row.clear();
+  const char* p = text.c_str();
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (*p < '0' || *p > '9') {
+      return Status::InvalidArgument(Describe(path, line_no) +
+                                     ": expected digit in field " +
+                                     std::to_string(c + 1));
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    if (errno == ERANGE) {
+      return Status::InvalidArgument(Describe(path, line_no) +
+                                     ": field " + std::to_string(c + 1) +
+                                     " out of uint64 range");
+    }
+    if (end == nullptr || *end != '|') {
+      return Status::InvalidArgument(Describe(path, line_no) +
+                                     ": field " + std::to_string(c + 1) +
+                                     " not terminated by '|'");
+    }
+    row.push_back(static_cast<std::uint64_t>(v));
+    p = end + 1;
+  }
+  if (*p != '\0') {
+    return Status::InvalidArgument(Describe(path, line_no) +
+                                   ": trailing data after " +
+                                   std::to_string(cols) + " fields");
+  }
+  return Status::OK();
+}
+
+// Reads `path` into `out` (resized to `cols` column vectors).
+Status ReadTblFile(const std::string& path, std::size_t cols,
+                   ParsedTable& out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  out.assign(cols, {});
+  std::string line;
+  std::vector<std::uint64_t> row;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    HEF_RETURN_NOT_OK(ParseLine(line, cols, path, line_no, row));
+    for (std::size_t c = 0; c < cols; ++c) out[c].push_back(row[c]);
+  }
+  if (in.bad()) {
+    return Status::IoError("read error on " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteTblFile(const std::string& path, std::size_t rows,
+                    const std::vector<const Column*>& cols) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (const Column* col : cols) {
+      std::fprintf(f, "%llu|",
+                   static_cast<unsigned long long>((*col)[i]));
+    }
+    std::fputc('\n', f);
+  }
+  const bool failed = std::ferror(f) != 0;
+  const bool close_failed = std::fclose(f) != 0;
+  if (failed || close_failed) {
+    return Status::IoError("write error on " + path);
+  }
+  return Status::OK();
+}
+
+void CopyColumn(const std::vector<std::uint64_t>& src, Column& dst) {
+  // Same padding the generator uses, so loaded and generated databases
+  // are interchangeable for the over-reading SIMD kernels.
+  dst.Allocate(src.size(), 8);
+  std::memcpy(dst.data(), src.data(), src.size() * sizeof(std::uint64_t));
+}
+
+Status CheckKeyRange(const Column& keys, std::size_t n, std::size_t dim_n,
+                     const char* key_name, const std::string& path) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = keys[i];
+    if (k < 1 || k > dim_n) {
+      return Status::InvalidArgument(
+          Describe(path, i + 1) + ": " + key_name + " " +
+          std::to_string(k) + " outside dimension [1, " +
+          std::to_string(dim_n) + "]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteTbl(const SsbDatabase& db, const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  {
+    const std::string path = dir + "/meta.tbl";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IoError("cannot create " + path + ": " +
+                             std::strerror(errno));
+    }
+    std::fprintf(f, "hef-tbl v1\nsf %.17g\n", db.scale_factor);
+    if (std::fclose(f) != 0) {
+      return Status::IoError("write error on " + path);
+    }
+  }
+  HEF_RETURN_NOT_OK(WriteTblFile(
+      dir + "/date.tbl", db.date.n,
+      {&db.date.datekey, &db.date.year, &db.date.yearmonthnum,
+       &db.date.weeknuminyear}));
+  HEF_RETURN_NOT_OK(WriteTblFile(
+      dir + "/customer.tbl", db.customer.n,
+      {&db.customer.city, &db.customer.nation, &db.customer.region}));
+  HEF_RETURN_NOT_OK(WriteTblFile(
+      dir + "/supplier.tbl", db.supplier.n,
+      {&db.supplier.city, &db.supplier.nation, &db.supplier.region}));
+  HEF_RETURN_NOT_OK(WriteTblFile(
+      dir + "/part.tbl", db.part.n,
+      {&db.part.mfgr, &db.part.category, &db.part.brand1}));
+  HEF_RETURN_NOT_OK(WriteTblFile(
+      dir + "/lineorder.tbl", db.lineorder.n,
+      {&db.lineorder.orderdate, &db.lineorder.custkey,
+       &db.lineorder.suppkey, &db.lineorder.partkey,
+       &db.lineorder.quantity, &db.lineorder.discount,
+       &db.lineorder.extendedprice, &db.lineorder.revenue,
+       &db.lineorder.supplycost}));
+  return Status::OK();
+}
+
+Result<SsbDatabase> LoadTblDatabase(const std::string& dir) {
+  SsbDatabase db;
+  {
+    const std::string path = dir + "/meta.tbl";
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      return Status::IoError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    std::string magic;
+    std::getline(in, magic);
+    if (magic != "hef-tbl v1") {
+      return Status::InvalidArgument(Describe(path, 1) +
+                                     ": bad magic '" + magic + "'");
+    }
+    std::string tag;
+    double sf = 0;
+    if (!(in >> tag >> sf) || tag != "sf" || !(sf >= 0)) {
+      return Status::InvalidArgument(Describe(path, 2) +
+                                     ": expected 'sf <value>'");
+    }
+    db.scale_factor = sf;
+  }
+
+  ParsedTable t;
+  {
+    const std::string path = dir + "/date.tbl";
+    HEF_RETURN_NOT_OK(ReadTblFile(path, 4, t));
+    db.date.n = t[0].size();
+    if (db.date.n == 0) {
+      return Status::InvalidArgument(path + ": DATE dimension is empty");
+    }
+    CopyColumn(t[0], db.date.datekey);
+    CopyColumn(t[1], db.date.year);
+    CopyColumn(t[2], db.date.yearmonthnum);
+    CopyColumn(t[3], db.date.weeknuminyear);
+  }
+  {
+    HEF_RETURN_NOT_OK(ReadTblFile(dir + "/customer.tbl", 3, t));
+    db.customer.n = t[0].size();
+    CopyColumn(t[0], db.customer.city);
+    CopyColumn(t[1], db.customer.nation);
+    CopyColumn(t[2], db.customer.region);
+  }
+  {
+    HEF_RETURN_NOT_OK(ReadTblFile(dir + "/supplier.tbl", 3, t));
+    db.supplier.n = t[0].size();
+    CopyColumn(t[0], db.supplier.city);
+    CopyColumn(t[1], db.supplier.nation);
+    CopyColumn(t[2], db.supplier.region);
+  }
+  {
+    HEF_RETURN_NOT_OK(ReadTblFile(dir + "/part.tbl", 3, t));
+    db.part.n = t[0].size();
+    CopyColumn(t[0], db.part.mfgr);
+    CopyColumn(t[1], db.part.category);
+    CopyColumn(t[2], db.part.brand1);
+  }
+  {
+    const std::string path = dir + "/lineorder.tbl";
+    HEF_RETURN_NOT_OK(ReadTblFile(path, 9, t));
+    db.lineorder.n = t[0].size();
+    CopyColumn(t[0], db.lineorder.orderdate);
+    CopyColumn(t[1], db.lineorder.custkey);
+    CopyColumn(t[2], db.lineorder.suppkey);
+    CopyColumn(t[3], db.lineorder.partkey);
+    CopyColumn(t[4], db.lineorder.quantity);
+    CopyColumn(t[5], db.lineorder.discount);
+    CopyColumn(t[6], db.lineorder.extendedprice);
+    CopyColumn(t[7], db.lineorder.revenue);
+    CopyColumn(t[8], db.lineorder.supplycost);
+
+    // Referential integrity: the plan builder indexes dimension columns
+    // by fact keys, so a bad key here would become an out-of-bounds read
+    // inside a query.
+    HEF_RETURN_NOT_OK(CheckKeyRange(db.lineorder.custkey, db.lineorder.n,
+                                    db.customer.n, "custkey", path));
+    HEF_RETURN_NOT_OK(CheckKeyRange(db.lineorder.suppkey, db.lineorder.n,
+                                    db.supplier.n, "suppkey", path));
+    HEF_RETURN_NOT_OK(CheckKeyRange(db.lineorder.partkey, db.lineorder.n,
+                                    db.part.n, "partkey", path));
+    std::unordered_set<std::uint64_t> dates;
+    dates.reserve(db.date.n * 2);
+    for (std::size_t i = 0; i < db.date.n; ++i) {
+      dates.insert(db.date.datekey[i]);
+    }
+    for (std::size_t i = 0; i < db.lineorder.n; ++i) {
+      if (dates.count(db.lineorder.orderdate[i]) == 0) {
+        return Status::InvalidArgument(
+            Describe(path, i + 1) + ": orderdate " +
+            std::to_string(db.lineorder.orderdate[i]) +
+            " not present in the DATE dimension");
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace hef::ssb

@@ -1,0 +1,39 @@
+// .tbl import/export for the SSB database — the serving-path loader.
+//
+// A server that boots from data files must reject a truncated or corrupt
+// dump with an error, not abort the process, so everything here speaks
+// Status/Result. The format is dbgen-shaped (one <table>.tbl per table,
+// '|'-separated fields, trailing '|') but numeric: fields are the uint64
+// column values of ssb/database.h, not dbgen's strings — Generate() +
+// WriteTbl() + LoadTblDatabase() round-trips bit-identically.
+//
+// LoadTblDatabase validates referential integrity before handing the
+// database to an engine: fact foreign keys must be dense 1-based keys
+// inside their dimension's row count and every orderdate must exist in
+// the DATE dimension, because the plan builder indexes dimension arrays
+// by these keys and an out-of-range key would otherwise become an
+// out-of-bounds read deep inside a query.
+
+#ifndef HEF_SSB_TBL_LOADER_H_
+#define HEF_SSB_TBL_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ssb/database.h"
+
+namespace hef::ssb {
+
+// Writes `db` into `dir` (created if missing) as meta.tbl, date.tbl,
+// customer.tbl, supplier.tbl, part.tbl and lineorder.tbl. IoError when a
+// file cannot be created or written.
+Status WriteTbl(const SsbDatabase& db, const std::string& dir);
+
+// Loads a database previously written by WriteTbl. IoError for a missing
+// or unreadable file, InvalidArgument (naming file and line) for a
+// malformed row or a failed integrity check.
+Result<SsbDatabase> LoadTblDatabase(const std::string& dir);
+
+}  // namespace hef::ssb
+
+#endif  // HEF_SSB_TBL_LOADER_H_

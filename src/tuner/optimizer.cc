@@ -1,9 +1,12 @@
 #include "tuner/optimizer.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <vector>
 
 #include "common/macros.h"
+#include "common/stopwatch.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 
@@ -22,6 +25,47 @@ std::vector<HybridConfig> Neighbors(const HybridConfig& node) {
   };
 }
 
+// One candidate's hardened measurement: up to options.trials calls of
+// `measure`, aborted once the accumulated wall clock crosses
+// options.watchdog_seconds.
+struct CandidateSample {
+  double median = 0;     // of the completed trials
+  bool timed_out = false;
+};
+
+CandidateSample MeasureCandidate(const MeasureFn& measure,
+                                 const HybridConfig& cfg,
+                                 const TuneOptions& options) {
+  HEF_TRACE_SPAN("tuner.measure");
+  const int trials = options.trials < 1 ? 1 : options.trials;
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(trials));
+  CandidateSample sample;
+  const std::uint64_t t0 = MonotonicNanos();
+  for (int i = 0; i < trials; ++i) {
+    times.push_back(measure(cfg));
+    const double spent =
+        static_cast<double>(MonotonicNanos() - t0) * 1e-9;
+    if (options.watchdog_seconds > 0 &&
+        spent > options.watchdog_seconds) {
+      sample.timed_out = true;
+      break;
+    }
+  }
+  std::sort(times.begin(), times.end());
+  const std::size_t n = times.size();
+  sample.median = n % 2 == 1
+                      ? times[n / 2]
+                      : 0.5 * (times[n / 2 - 1] + times[n / 2]);
+  return sample;
+}
+
+// What the search compares: timed-out candidates always lose.
+double EffectiveSeconds(const CandidateSample& sample) {
+  return sample.timed_out ? std::numeric_limits<double>::infinity()
+                          : sample.median;
+}
+
 }  // namespace
 
 TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
@@ -36,14 +80,18 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
   std::map<HybridConfig, double> tested;
 
   auto run = [&](const HybridConfig& cfg, const HybridConfig& parent) {
-    HEF_TRACE_SPAN("tuner.measure");
-    const double t = measure(cfg);
+    const CandidateSample sample = MeasureCandidate(measure, cfg, options);
+    // Timed-out candidates compare as +inf, so they lose against every
+    // measured node and the search routes around them.
+    const double t = EffectiveSeconds(sample);
     tested[cfg] = t;
     ++result.nodes_tested;
+    if (sample.timed_out) ++result.nodes_timed_out;
     result.history.emplace_back(cfg, t);
     // Classification is patched to `winner` by the caller when the node
     // beats its expansion source.
-    result.trace.push_back(TuneStep{cfg, t, parent, /*winner=*/false});
+    result.trace.push_back(TuneStep{cfg, sample.median, parent,
+                                    /*winner=*/false, sample.timed_out});
     return t;
   };
 
@@ -91,37 +139,47 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
       .Increment(static_cast<std::uint64_t>(result.nodes_tested));
   registry.counter("tuner.nodes_pruned")
       .Increment(static_cast<std::uint64_t>(result.nodes_pruned));
+  registry.counter("tuner.candidates_timed_out")
+      .Increment(static_cast<std::uint64_t>(result.nodes_timed_out));
   return result;
 }
 
 TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
                           const MeasureFn& measure) {
+  return TuneExhaustive(space, measure, TuneOptions{});
+}
+
+TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
+                          const MeasureFn& measure,
+                          const TuneOptions& options) {
   HEF_CHECK_MSG(!space.empty(), "empty search space");
   HEF_TRACE_SPAN("tuner.exhaustive");
   TuneResult result;
   bool first = true;
   for (const HybridConfig& cfg : space) {
     if (!cfg.valid()) continue;
-    double t;
-    {
-      HEF_TRACE_SPAN("tuner.measure");
-      t = measure(cfg);
-    }
+    const CandidateSample sample = MeasureCandidate(measure, cfg, options);
+    const double t = EffectiveSeconds(sample);
     ++result.nodes_tested;
+    if (sample.timed_out) ++result.nodes_timed_out;
     result.history.emplace_back(cfg, t);
     // Exhaustive search has no expansion tree; every node is its own
-    // parent and "winner" marks new running optima.
+    // parent and "winner" marks new running optima. A timed-out node can
+    // only become "best" as the degenerate first entry.
     const bool improved = first || t < result.best_time;
-    result.trace.push_back(TuneStep{cfg, t, cfg, improved});
+    result.trace.push_back(TuneStep{cfg, sample.median, cfg, improved,
+                                    sample.timed_out});
     if (improved) {
       result.best = cfg;
       result.best_time = t;
       first = false;
     }
   }
-  telemetry::MetricsRegistry::Get()
-      .counter("tuner.nodes_tested")
+  auto& registry = telemetry::MetricsRegistry::Get();
+  registry.counter("tuner.nodes_tested")
       .Increment(static_cast<std::uint64_t>(result.nodes_tested));
+  registry.counter("tuner.candidates_timed_out")
+      .Increment(static_cast<std::uint64_t>(result.nodes_timed_out));
   return result;
 }
 

@@ -37,6 +37,17 @@ struct TuneOptions {
   SupportedFn is_supported;  // required
   // Safety valve on total measurements (the space is finite anyway).
   int max_measurements = 1000;
+  // Measurement repetitions per candidate; the candidate's effective time
+  // is the median of its trials, so one preempted / cache-cold trial
+  // cannot misclassify a winner as a loser (or vice versa). 1 keeps the
+  // pre-hardening single-shot behaviour.
+  int trials = 1;
+  // Per-candidate wall-clock budget in seconds across its trials; 0
+  // disables. A candidate that exhausts the budget stops measuring
+  // immediately, scores +inf (so it is always classified a loser and
+  // never expanded or chosen), and is flagged timed_out in the trace —
+  // a pathological implementation point cannot stall the whole search.
+  double watchdog_seconds = 0;
 };
 
 // One measurement in the search trace. The steps, in test order, encode
@@ -45,10 +56,15 @@ struct TuneOptions {
 // or was pruned (loser — its own variants are never generated).
 struct TuneStep {
   HybridConfig config{1, 0, 1};
+  // Median of the completed trials (what the search compared); for a
+  // timed-out candidate, the median of whatever trials finished in
+  // budget — the search itself scored it +inf.
   double seconds = 0;
   // Expansion source; equals `config` for the search root.
   HybridConfig parent{1, 0, 1};
   bool winner = false;
+  // The candidate blew its watchdog budget and was force-pruned.
+  bool timed_out = false;
 };
 
 struct TuneResult {
@@ -58,6 +74,9 @@ struct TuneResult {
   int nodes_tested = 0;
   // Losers: measured but never expanded (Algorithm 2's end list).
   int nodes_pruned = 0;
+  // Candidates force-pruned by the per-candidate watchdog (also counted
+  // in nodes_pruned when they would have been expanded otherwise).
+  int nodes_timed_out = 0;
   // Measurement log in test order (config, seconds).
   std::vector<std::pair<HybridConfig, double>> history;
   // Measurement log with parent/winner classification (same order as
@@ -76,6 +95,13 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
 // fraction of the measurements.
 TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
                           const MeasureFn& measure);
+
+// As above with measurement hardening (options.trials median,
+// options.watchdog_seconds force-prune); options.is_supported is unused
+// here — the caller already enumerated the space.
+TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
+                          const MeasureFn& measure,
+                          const TuneOptions& options);
 
 }  // namespace hef
 

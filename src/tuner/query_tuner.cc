@@ -51,6 +51,8 @@ QueryTuneResult TuneQueriesProbe(const ssb::SsbDatabase& db,
 
   TuneOptions tune;
   tune.is_supported = supported;
+  tune.trials = options.trials;
+  tune.watchdog_seconds = options.watchdog_seconds;
   TuneResult r = Tune(initial, measure, tune);
 
   QueryTuneResult out;

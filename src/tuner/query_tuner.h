@@ -30,6 +30,13 @@ struct QueryTuneOptions {
   // Wall-clock repetitions per candidate; min is used.
   int repetitions = 3;
   int block_size = 4096;
+  // Search-level hardening, forwarded to TuneOptions: independent trials
+  // of the whole measurement (median used, so one noisy trial cannot
+  // flip a winner/loser call) and a per-candidate watchdog budget in
+  // seconds (0 = off; a candidate exceeding it scores +inf and is
+  // pruned, recorded as timed_out in the trace).
+  int trials = 1;
+  double watchdog_seconds = 0;
 };
 
 struct QueryTuneResult {

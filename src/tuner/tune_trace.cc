@@ -24,6 +24,7 @@ std::string TuneTraceToJson(const TuneResult& result) {
   w.Key("best_seconds").Double(result.best_time);
   w.Key("nodes_tested").Int(result.nodes_tested);
   w.Key("nodes_pruned").Int(result.nodes_pruned);
+  w.Key("nodes_timed_out").Int(result.nodes_timed_out);
   w.Key("steps").BeginArray();
   for (const TuneStep& step : result.trace) {
     w.BeginObject();
@@ -34,6 +35,7 @@ std::string TuneTraceToJson(const TuneResult& result) {
     w.Key("parent");
     WriteConfig(w, step.parent);
     w.Key("winner").Bool(step.winner);
+    w.Key("timed_out").Bool(step.timed_out);
     w.EndObject();
   }
   w.EndArray();

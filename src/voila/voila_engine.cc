@@ -10,6 +10,7 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "engine/star_plan.h"
+#include "exec/fault_injection.h"
 #include "exec/plan_cache.h"
 #include "exec/runtime.h"
 #include "exec/task_pool.h"
@@ -85,6 +86,20 @@ struct VoilaEngine::Impl {
       };
     }
     return BuildQueryPlan(db, id, options);
+  }
+
+  // The fallible build used by the serving path (see
+  // SsbEngine::Impl::TryBuildEntry — same contract, "voila.build" site).
+  Result<BoundPlan> TryBuildPlan(QueryId id,
+                                 const exec::QueryContext& ctx) const {
+    HEF_RETURN_NOT_OK(ctx.Check());
+    HEF_FAULT_POINT_STATUS("voila.build");
+    try {
+      return BuildPlan(id);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("plan build failed for ") +
+                              QueryName(id) + ": " + e.what());
+    }
   }
 
   // Primitive: materialize col[base + sel[j]] into out[sel[j]].
@@ -186,7 +201,8 @@ struct VoilaEngine::Impl {
                  std::size_t row_end, std::vector<std::uint64_t>& agg,
                  std::vector<std::uint64_t>& cnt,
                  std::uint64_t* qualifying_out,
-                 std::vector<StageAcc>* stage_accs) const {
+                 std::vector<StageAcc>* stage_accs,
+                 const exec::QueryContext* ctx = nullptr) const {
     const auto vec = static_cast<std::size_t>(config.vector_size);
     const bool stats = stage_accs != nullptr;
     const std::size_t probe_base = plan.filters.size();
@@ -208,6 +224,10 @@ struct VoilaEngine::Impl {
     };
 
     for (std::size_t b0 = row_begin; b0 < row_end; b0 += vec) {
+      // Vector boundary = cancellation granularity, same contract as the
+      // HEF engine's block loop.
+      if (ctx != nullptr && HEF_UNLIKELY(ctx->ShouldStop())) break;
+      HEF_FAULT_POINT("voila.morsel");
       const std::size_t bn = std::min(vec, row_end - b0);
       std::size_t n = bn;
       for (std::size_t j = 0; j < n; ++j) {
@@ -279,7 +299,8 @@ struct VoilaEngine::Impl {
     *qualifying_out += qualifying;
   }
 
-  QueryResult ExecutePlan(const StarPlan& plan) {
+  QueryResult ExecutePlan(const StarPlan& plan,
+                          const exec::QueryContext* ctx = nullptr) {
     const auto vec = static_cast<std::size_t>(config.vector_size);
     const std::size_t total = db.lineorder.n;
 
@@ -297,7 +318,7 @@ struct VoilaEngine::Impl {
                       static_cast<int>(blocks_total == 0 ? 1 : blocks_total));
     if (threads <= 1) {
       RunBlocks(plan, main_regs, 0, total, agg, cnt, &qualifying,
-                stats ? &accs : nullptr);
+                stats ? &accs : nullptr, ctx);
     } else {
       // Morsel parallelism over the persistent pool, same scheduler as
       // the HEF engine: workers claim vector-sized morsels dynamically,
@@ -321,9 +342,10 @@ struct VoilaEngine::Impl {
               RunBlocks(plan, regs, blk_begin * vec,
                         std::min(total, blk_end * vec), worker_agg[t],
                         worker_cnt[t], &worker_qualifying[t],
-                        stats ? &worker_accs[t] : nullptr);
+                        stats ? &worker_accs[t] : nullptr, ctx);
             }
-          });
+          },
+          ctx);
       for (int t = 0; t < threads; ++t) {
         qualifying += worker_qualifying[t];
         for (std::size_t g = 0; g < plan.gid_domain; ++g) {
@@ -376,6 +398,61 @@ struct VoilaEngine::Impl {
     std::sort(result.rows.begin(), result.rows.end());
     return result;
   }
+
+  // The serving path behind Run(id, ctx) — same contract as
+  // SsbEngine::Impl::TryRun.
+  Result<QueryResult> TryRun(QueryId id, const exec::QueryContext& ctx) {
+    HEF_TRACE_SPAN("voila.query");
+    HEF_RETURN_NOT_OK(ctx.Check());
+    const bool stats = config.collect_stats;
+    OperatorStats build;
+    std::uint64_t t0 = 0;
+    if (stats) {
+      build.name = "build";
+      t0 = MonotonicNanos();
+    }
+    const BoundPlan* bound = nullptr;
+    BoundPlan fresh;
+    if (config.plan_cache) {
+      Result<const BoundPlan*> cached = plan_cache.TryGetOrBuild(
+          id,
+          [&]() -> Result<BoundPlan> { return TryBuildPlan(id, ctx); });
+      HEF_RETURN_NOT_OK(cached.status());
+      bound = cached.value();
+    } else {
+      Result<BoundPlan> built = TryBuildPlan(id, ctx);
+      HEF_RETURN_NOT_OK(built.status());
+      fresh = std::move(built).value();
+      bound = &fresh;
+    }
+    if (stats) {
+      build.wall_nanos = MonotonicNanos() - t0;
+      build.invocations = 1;
+      for (const auto& table : bound->tables) {
+        build.rows_in += table->size();
+        build.rows_out += table->size();
+      }
+    }
+    QueryResult result;
+    try {
+      HEF_TRACE_SPAN("voila.pipeline");
+      result = ExecutePlan(bound->plan, &ctx);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("query execution failed for ") +
+                              QueryName(id) + ": " + e.what());
+    } catch (...) {
+      return Status::Internal(
+          std::string("query execution failed for ") + QueryName(id) +
+          ": unknown exception");
+    }
+    // A stop mid-scan leaves a partial result; report the reason instead.
+    HEF_RETURN_NOT_OK(ctx.Check());
+    if (stats) {
+      result.operator_stats.insert(result.operator_stats.begin(),
+                                   std::move(build));
+    }
+    return result;
+  }
 };
 
 VoilaEngine::VoilaEngine(const ssb::SsbDatabase& db, VoilaConfig config)
@@ -388,42 +465,18 @@ const VoilaConfig& VoilaEngine::config() const { return impl_->config; }
 void VoilaEngine::InvalidatePlanCache() { impl_->plan_cache.Invalidate(); }
 
 QueryResult VoilaEngine::Run(QueryId id) {
-  HEF_TRACE_SPAN("voila.query");
-  const bool stats = impl_->config.collect_stats;
-  OperatorStats build;
-  std::uint64_t t0 = 0;
-  if (stats) {
-    build.name = "build";
-    t0 = MonotonicNanos();
-  }
-  // Resolve the plan: a cache hit reuses the dimension hash tables built
-  // by an earlier Run; the "build" row then reports the lookup cost.
-  const BoundPlan* bound = nullptr;
-  BoundPlan fresh;
-  if (impl_->config.plan_cache) {
-    bound = &impl_->plan_cache.GetOrBuild(
-        id, [&] { return impl_->BuildPlan(id); });
-  } else {
-    fresh = impl_->BuildPlan(id);
-    bound = &fresh;
-  }
-  if (stats) {
-    build.wall_nanos = MonotonicNanos() - t0;
-    build.invocations = 1;
-    for (const auto& table : bound->tables) {
-      build.rows_in += table->size();
-      build.rows_out += table->size();
-    }
-  }
-  QueryResult result;
-  {
-    HEF_TRACE_SPAN("voila.pipeline");
-    result = impl_->ExecutePlan(bound->plan);
-  }
-  if (stats) {
-    result.operator_stats.insert(result.operator_stats.begin(),
-                                 std::move(build));
-  }
+  // Abort-on-error convenience form over the same serving path (see
+  // SsbEngine::Run for the rationale).
+  Result<QueryResult> result = Run(id, exec::QueryContext());
+  HEF_CHECK_MSG(result.ok(), "VoilaEngine::Run(%s) failed: %s",
+                QueryName(id), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+Result<QueryResult> VoilaEngine::Run(QueryId id,
+                                     const exec::QueryContext& ctx) {
+  Result<QueryResult> result = impl_->TryRun(id, ctx);
+  exec::RecordQueryOutcome(result.status());
   return result;
 }
 

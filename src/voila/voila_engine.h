@@ -25,8 +25,10 @@
 
 #include <memory>
 
+#include "common/status.h"
 #include "engine/query_id.h"
 #include "engine/result.h"
+#include "exec/query_context.h"
 #include "ssb/database.h"
 
 namespace hef {
@@ -62,7 +64,15 @@ class VoilaEngine {
   VoilaEngine(const VoilaEngine&) = delete;
   VoilaEngine& operator=(const VoilaEngine&) = delete;
 
+  // Aborts on any failure (tests and paper-exhibit benches).
   QueryResult Run(QueryId id);
+
+  // The serving-path form, mirroring SsbEngine: cancellation and
+  // deadline are honoured at every morsel claim and interpreted vector,
+  // execution-time exceptions become Status::Internal with the
+  // interpreter and pool intact, and outcomes are counted via
+  // exec::RecordQueryOutcome.
+  Result<QueryResult> Run(QueryId id, const exec::QueryContext& ctx);
 
   // Drops all cached plans; the next Run of each query rebuilds from the
   // database.

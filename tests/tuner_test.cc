@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <set>
+#include <thread>
 
 #include "algo/murmur.h"
 #include "tuner/candidate_generator.h"
@@ -235,11 +237,123 @@ TEST(TuneTraceTest, JsonGolden) {
   EXPECT_EQ(TuneTraceToJson(r),
             "{\"best\":{\"v\":1,\"s\":3,\"p\":2},"
             "\"best_seconds\":0.5,\"nodes_tested\":2,\"nodes_pruned\":1,"
-            "\"steps\":["
+            "\"nodes_timed_out\":0,\"steps\":["
             "{\"v\":1,\"s\":3,\"p\":2,\"seconds\":0.5,"
-            "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":true},"
+            "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":true,"
+            "\"timed_out\":false},"
             "{\"v\":2,\"s\":3,\"p\":2,\"seconds\":0.75,"
-            "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":false}]}");
+            "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":false,"
+            "\"timed_out\":false}]}");
+}
+
+// --- measurement hardening: trials / median / watchdog ----------------
+
+TEST(OptimizerTest, SingleTrialRemainsOneMeasurementPerNode) {
+  int calls = 0;
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 3 && cfg.s <= 3 && cfg.p <= 3;
+  };
+  const TuneResult r = Tune(
+      HybridConfig{2, 2, 2},
+      [&](const HybridConfig& cfg) {
+        ++calls;
+        return ConvexCost(cfg);
+      },
+      options);
+  EXPECT_EQ(calls, r.nodes_tested);  // trials defaults to 1
+  EXPECT_EQ(r.nodes_timed_out, 0);
+}
+
+TEST(OptimizerTest, MedianOfTrialsRejectsOutliers) {
+  // Every third measurement of a node is wildly slow (a preempted trial).
+  // With trials = 3 the median throws the outlier away and the search
+  // still scores every node at its true cost, finding the true optimum.
+  int calls = 0;
+  auto noisy = [&](const HybridConfig& cfg) {
+    const int trial = calls++ % 3;
+    return ConvexCost(cfg) + (trial == 2 ? 1000.0 : 0.0);
+  };
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 4 && cfg.s <= 6 && cfg.p <= 5;
+  };
+  options.trials = 3;
+  const TuneResult r = Tune(HybridConfig{4, 6, 5}, noisy, options);
+  EXPECT_EQ(r.best, (HybridConfig{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(r.best_time, 1.0);
+  EXPECT_EQ(calls, r.nodes_tested * 3);
+  for (const TuneStep& step : r.trace) {
+    EXPECT_DOUBLE_EQ(step.seconds, ConvexCost(step.config))
+        << step.config.ToString();
+  }
+}
+
+TEST(OptimizerTest, WatchdogForcePrunesStalledCandidate) {
+  // One pathological node reports the fastest time but takes forever to
+  // measure; the watchdog must flag it and the search must not crown it.
+  const HybridConfig slow{2, 2, 2};
+  auto measure = [&](const HybridConfig& cfg) {
+    if (cfg == slow) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return 0.001;  // would win every comparison if admitted
+    }
+    return ConvexCost(cfg);
+  };
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 3 && cfg.s <= 4 && cfg.p <= 3;
+  };
+  options.trials = 2;
+  options.watchdog_seconds = 0.005;
+  // Start adjacent to the pathological node so it is generated and
+  // measured in the first expansion round.
+  const TuneResult r = Tune(HybridConfig{2, 2, 1}, measure, options);
+  EXPECT_EQ(r.best, (HybridConfig{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(r.best_time, 1.0);
+  EXPECT_EQ(r.nodes_timed_out, 1);
+  bool flagged = false;
+  for (const TuneStep& step : r.trace) {
+    if (step.config == slow) {
+      EXPECT_TRUE(step.timed_out);
+      EXPECT_FALSE(step.winner);
+      flagged = true;
+    } else {
+      EXPECT_FALSE(step.timed_out) << step.config.ToString();
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(OptimizerTest, ExhaustiveWithOptionsAppliesWatchdog) {
+  const auto space = EnumerateSearchSpace(2, 2, 2);
+  const HybridConfig slow = space.front();
+  auto measure = [&](const HybridConfig& cfg) {
+    if (cfg == slow) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return 0.0;
+    }
+    return ConvexCost(cfg);
+  };
+  TuneOptions options;
+  options.trials = 2;
+  options.watchdog_seconds = 0.005;
+  const TuneResult r = TuneExhaustive(space, measure, options);
+  EXPECT_EQ(r.nodes_timed_out, 1);
+  EXPECT_NE(r.best, slow);
+  // The winner is the cheapest node in the space other than the
+  // timed-out one (which reported the smallest time of all).
+  HybridConfig want = slow;
+  double want_cost = 0;
+  for (const HybridConfig& cfg : space) {
+    if (cfg == slow) continue;
+    if (want == slow || ConvexCost(cfg) < want_cost) {
+      want = cfg;
+      want_cost = ConvexCost(cfg);
+    }
+  }
+  EXPECT_EQ(r.best, want);
+  EXPECT_DOUBLE_EQ(r.best_time, want_cost);
 }
 
 TEST(KernelTunersTest, AllKernelTunersProduceValidOptima) {

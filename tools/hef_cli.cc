@@ -29,6 +29,7 @@
 #include "procinfo/cpu_features.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/metrics.h"
 #include "telemetry/span.h"
 #include "tuner/kernel_tuners.h"
 #include "tuner/tune_trace.h"
@@ -37,6 +38,17 @@
 
 namespace hef {
 namespace {
+
+// A tuning cache that fails to load or save is an inconvenience, not a
+// fatal error — the CLI proceeds (untuned defaults / unsaved results) but
+// says so and counts it, instead of silently swallowing the status.
+void WarnCacheError(const char* action, const Status& status) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "warning: tuning cache %s failed: %s\n", action,
+               status.ToString().c_str());
+  telemetry::MetricsRegistry::Get().counter("tuner.cache_errors")
+      .Increment();
+}
 
 int CmdInfo(int argc, char** argv) {
   FlagParser flags;
@@ -85,7 +97,7 @@ int CmdTune(int argc, char** argv) {
   options.repetitions = static_cast<int>(flags.GetInt64("repetitions"));
 
   TuningCache cache(flags.GetString("cache"));
-  (void)cache.Load();
+  WarnCacheError("load", cache.Load());
 
   struct Row {
     const char* name;
@@ -106,11 +118,9 @@ int CmdTune(int argc, char** argv) {
                   TextTable::Num(row.result.best_time * 1e3, 3)});
   }
   const Status st = cache.Save();
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  std::printf("%s\nsaved to %s\n", table.ToString().c_str(),
+  WarnCacheError("save", st);
+  std::printf("%s\n%s %s\n", table.ToString().c_str(),
+              st.ok() ? "saved to" : "NOT saved to",
               cache.path().c_str());
 
   const std::string json_path = flags.GetString("json");
@@ -181,8 +191,8 @@ int CmdQuery(int argc, char** argv) {
   EngineConfig hybrid_cfg;
   hybrid_cfg.flavor = Flavor::kHybrid;
   TuningCache cache(flags.GetString("cache"));
-  if (cache.Load().ok() && cache.Contains("probe") &&
-      cache.Contains("gather")) {
+  WarnCacheError("load", cache.Load());
+  if (cache.Contains("probe") && cache.Contains("gather")) {
     hybrid_cfg.probe_cfg = cache.Get("probe").value().config;
     hybrid_cfg.gather_cfg = cache.Get("gather").value().config;
     std::printf("using cached tuning: probe %s, gather %s\n",
