@@ -1,0 +1,68 @@
+// Dependence checker — statically proves the paper's pack claim (§IV-B)
+// on the translator's actual output instead of trusting the comment in
+// translator.h. It re-parses the emitted C++ string into generated
+// statements (defs and uses of the Fig. 6 instance variables
+// `name_{v|s}<lane_group>_p<pack>`), then checks that every
+// read-after-write pair inside the main chunk loop is at least a pack
+// width apart: with line-major expansion, all p*(v+s) instances of
+// template line k are emitted before any instance of line k+1, so the
+// processor always has a full pack of independent statements in flight
+// and the inter-instruction interval drops from latency to throughput.
+//
+// Only the chunk loop is analyzed — the scalar tail processes one element
+// at a time and is sequential by design — and only register dependences
+// are tracked: in/out/aux never alias by the kernel contract
+// (hef_generated_kernel reads in, writes out, gathers through aux).
+
+#ifndef HEF_ANALYSIS_DEPENDENCE_CHECKER_H_
+#define HEF_ANALYSIS_DEPENDENCE_CHECKER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hybrid/hybrid_config.h"
+
+namespace hef {
+namespace analysis {
+
+// One emitted statement of the chunk loop, reduced to its dataflow.
+struct GeneratedStatement {
+  std::string text;               // the emitted line, trimmed
+  std::string def;                // instance variable written ("" if none)
+  std::vector<std::string> uses;  // instance variables read
+};
+
+struct DependenceReport {
+  int statements = 0;         // statements in the unrolled chunk body
+  int pack_width = 0;         // v + s: statements per pack
+  int instances_per_line = 0;  // p * (v + s): the translator's spacing
+  // Minimum distance over all read-after-write pairs (0 when the body has
+  // no register dependence at all, e.g. a single-statement template).
+  int min_distance = 0;
+  bool has_dependence = false;
+  // (def statement, use statement) index pairs closer than pack_width.
+  std::vector<std::pair<int, int>> violations;
+
+  // The pack claim: every dependent pair is at least a pack apart.
+  bool ProvesPackClaim() const {
+    return !has_dependence || (violations.empty() &&
+                               min_distance >= pack_width);
+  }
+};
+
+// Extracts the chunk-loop statements from a TranslateOperator() result.
+// Fails if the source has no recognizable chunk loop.
+Result<std::vector<GeneratedStatement>> ParseChunkLoop(
+    const std::string& generated_source);
+
+// Parses and checks `generated_source` (the string TranslateOperator
+// emitted for `config`).
+Result<DependenceReport> CheckDependences(
+    const std::string& generated_source, const HybridConfig& config);
+
+}  // namespace analysis
+}  // namespace hef
+
+#endif  // HEF_ANALYSIS_DEPENDENCE_CHECKER_H_

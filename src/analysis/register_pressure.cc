@@ -1,0 +1,75 @@
+#include "analysis/register_pressure.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hef {
+namespace analysis {
+
+std::string RegisterPressure::ToString() const {
+  return "scalar " + std::to_string(scalar_live) + "/" +
+         std::to_string(scalar_limit) + ", vector " +
+         std::to_string(vector_live) + "/" + std::to_string(vector_limit);
+}
+
+int MaxLiveTemplateVars(const OperatorTemplate& op) {
+  std::set<std::string> live;
+  std::size_t max_live = 0;
+  for (auto it = op.body.rbegin(); it != op.body.rend(); ++it) {
+    if (!it->dst.empty()) live.erase(it->dst);
+    for (const std::string& arg : it->args) {
+      if (op.IsVariable(arg)) live.insert(arg);
+    }
+    max_live = std::max(max_live, live.size());
+  }
+  return static_cast<int>(max_live);
+}
+
+RegisterPressure EstimatePressure(int max_live_vars, int num_constants,
+                                  const HybridConfig& config,
+                                  Isa vector_isa) {
+  RegisterPressure pressure;
+  pressure.scalar_limit = kScalarRegisterLimit;
+  pressure.vector_limit =
+      vector_isa == Isa::kAvx2 ? kYmmRegisterLimit : kZmmRegisterLimit;
+  // Each pack instance carries its own copy of every live variable;
+  // constants are shared (one scalar + one broadcast copy, the
+  // translator's constant rule).
+  pressure.scalar_live =
+      config.p * config.s * max_live_vars + num_constants;
+  pressure.vector_live =
+      config.v > 0 ? config.p * config.v * max_live_vars + num_constants
+                   : 0;
+  return pressure;
+}
+
+RegisterPressure EstimatePressure(const OperatorTemplate& op,
+                                  const HybridConfig& config,
+                                  Isa vector_isa) {
+  return EstimatePressure(MaxLiveTemplateVars(op),
+                          static_cast<int>(op.constants.size()), config,
+                          vector_isa);
+}
+
+std::function<Status(const HybridConfig&)> MakePressureCheck(
+    int max_live_vars, int num_constants, Isa vector_isa) {
+  return [max_live_vars, num_constants,
+          vector_isa](const HybridConfig& config) -> Status {
+    const RegisterPressure pressure =
+        EstimatePressure(max_live_vars, num_constants, config, vector_isa);
+    if (pressure.fits()) return Status::OK();
+    return Status::InvalidArgument("config " + config.ToString() +
+                                   " exceeds the register file (" +
+                                   pressure.ToString() + ")");
+  };
+}
+
+std::function<Status(const HybridConfig&)> MakePressureCheck(
+    const OperatorTemplate& op, Isa vector_isa) {
+  return MakePressureCheck(MaxLiveTemplateVars(op),
+                           static_cast<int>(op.constants.size()),
+                           vector_isa);
+}
+
+}  // namespace analysis
+}  // namespace hef

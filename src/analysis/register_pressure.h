@@ -1,0 +1,73 @@
+// Register-pressure estimate — the static model behind the tuner's
+// over-pressure pruning. A (v, s, p) implementation keeps
+// p * s * max_live scalar values and p * v * max_live vector values in
+// flight (max_live = maximum simultaneously-live template variables,
+// from a backward liveness walk), plus one scalar and one vector copy of
+// each template constant. Configurations that exceed the register file —
+// 16 GPRs, 16 ymm (AVX2), 32 zmm (AVX-512) — spill, and a spilling
+// implementation can never be the paper's optimum (§IV-C's "overruns the
+// register budget" side of the runtime curve), so the tuner rejects such
+// nodes before ever benchmarking them (tuner.candidates_rejected_static).
+
+#ifndef HEF_ANALYSIS_REGISTER_PRESSURE_H_
+#define HEF_ANALYSIS_REGISTER_PRESSURE_H_
+
+#include <functional>
+#include <string>
+
+#include "codegen/operator_template.h"
+#include "common/status.h"
+#include "hybrid/hybrid_config.h"
+#include "procinfo/cpu_features.h"
+
+namespace hef {
+namespace analysis {
+
+// x86-64 integer register file (minus nothing: the loop counter /
+// pointers share it, which the estimate folds into the live count's
+// conservatism rather than the limit).
+inline constexpr int kScalarRegisterLimit = 16;
+inline constexpr int kYmmRegisterLimit = 16;
+inline constexpr int kZmmRegisterLimit = 32;
+
+struct RegisterPressure {
+  int scalar_live = 0;  // max simultaneously-live scalar values
+  int vector_live = 0;  // max simultaneously-live vector values
+  int scalar_limit = kScalarRegisterLimit;
+  int vector_limit = kZmmRegisterLimit;
+
+  bool fits() const {
+    return scalar_live <= scalar_limit && vector_live <= vector_limit;
+  }
+  // "scalar 14/16, vector 6/32".
+  std::string ToString() const;
+};
+
+// Maximum simultaneously-live template variables across the body
+// (backward liveness; a dead def still keeps its operands live).
+int MaxLiveTemplateVars(const OperatorTemplate& op);
+
+// Pressure of `config` given the template's live count and constant
+// count. `vector_isa` selects the vector register file (ymm vs zmm).
+RegisterPressure EstimatePressure(int max_live_vars, int num_constants,
+                                  const HybridConfig& config,
+                                  Isa vector_isa);
+
+// As above, with max_live_vars / num_constants read off the template.
+RegisterPressure EstimatePressure(const OperatorTemplate& op,
+                                  const HybridConfig& config,
+                                  Isa vector_isa);
+
+// Admission filter for TuneOptions::static_check: OK when the estimate
+// fits the register file, InvalidArgument naming the overrun otherwise.
+std::function<Status(const HybridConfig&)> MakePressureCheck(
+    int max_live_vars, int num_constants, Isa vector_isa);
+
+// Template-based variant of MakePressureCheck.
+std::function<Status(const HybridConfig&)> MakePressureCheck(
+    const OperatorTemplate& op, Isa vector_isa);
+
+}  // namespace analysis
+}  // namespace hef
+
+#endif  // HEF_ANALYSIS_REGISTER_PRESSURE_H_

@@ -1,6 +1,32 @@
 #include "codegen/description_table.h"
 
+#include <set>
+#include <utility>
+
+#include "common/macros.h"
+
 namespace hef {
+
+namespace {
+
+// Placeholder names referenced by one pattern string ("{dst}" -> "dst").
+// Malformed braces ("{x" with no close) are reported as-is so the error
+// message shows what the table actually contains.
+Result<std::set<std::string>> Placeholders(const std::string& pattern) {
+  std::set<std::string> found;
+  std::size_t at = 0;
+  while ((at = pattern.find('{', at)) != std::string::npos) {
+    const std::size_t close = pattern.find('}', at + 1);
+    if (close == std::string::npos) {
+      return Status::InvalidArgument("unterminated placeholder");
+    }
+    found.insert(pattern.substr(at + 1, close - at - 1));
+    at = close + 1;
+  }
+  return found;
+}
+
+}  // namespace
 
 DescriptionTable DescriptionTable::Builtin() {
   DescriptionTable t;
@@ -51,11 +77,87 @@ DescriptionTable DescriptionTable::Builtin() {
            "{dst} = _mm256_i64gather_epi64((const long long*)({a}), {b}, "
            "8);",
            "{dst} = _mm512_i64gather_epi64({b}, {a}, 8);"});
+  // The shipped table must satisfy its own load-time contract.
+  HEF_CHECK_MSG(t.Validate().ok(), "builtin description table invalid");
   return t;
 }
 
 void DescriptionTable::AddOp(const std::string& name, OpPattern pattern) {
   ops_[name] = std::move(pattern);
+}
+
+Status DescriptionTable::AddOpChecked(const std::string& name,
+                                      OpPattern pattern) {
+  HEF_RETURN_NOT_OK(ValidatePattern(name, pattern));
+  ops_[name] = std::move(pattern);
+  return Status::OK();
+}
+
+Status DescriptionTable::ValidatePattern(const std::string& name,
+                                         const OpPattern& pattern) {
+  auto fail = [&name](const std::string& isa, const std::string& msg) {
+    return Status::InvalidArgument("description table op '" + name + "' " +
+                                   isa + " pattern " + msg);
+  };
+  if (pattern.arity != 1 && pattern.arity != 2) {
+    return Status::InvalidArgument("description table op '" + name +
+                                   "' has arity " +
+                                   std::to_string(pattern.arity) +
+                                   "; only 1 or 2 are supported");
+  }
+  // -1: not yet seen a non-empty pattern; afterwards 0/1 and every other
+  // non-empty ISA pattern must agree on whether the op produces {dst}.
+  int produces_dst = -1;
+  const std::pair<const char*, const std::string*> columns[] = {
+      {"scalar", &pattern.scalar},
+      {"avx2", &pattern.avx2},
+      {"avx512", &pattern.avx512},
+  };
+  for (const auto& [isa, text] : columns) {
+    if (text->empty()) continue;
+    Result<std::set<std::string>> ph = Placeholders(*text);
+    if (!ph.ok()) return fail(isa, "has an unterminated '{' placeholder");
+    for (const std::string& p : ph.value()) {
+      if (p != "dst" && p != "a" && p != "b" && p != "imm") {
+        return fail(isa, "references unknown placeholder '{" + p + "}'");
+      }
+    }
+    if (ph.value().count("a") == 0) {
+      return fail(isa, "never references {a}");
+    }
+    const bool has_b = ph.value().count("b") != 0;
+    if (pattern.arity == 2 && !has_b) {
+      return fail(isa, "never references {b} despite arity 2");
+    }
+    if (pattern.arity == 1 && has_b) {
+      return fail(isa, "references {b} despite arity 1");
+    }
+    const bool has_imm = ph.value().count("imm") != 0;
+    if (pattern.has_immediate && !has_imm) {
+      return fail(isa, "never references {imm} despite has_immediate");
+    }
+    if (!pattern.has_immediate && has_imm) {
+      return fail(isa, "references {imm} without has_immediate");
+    }
+    const int dst = ph.value().count("dst") != 0 ? 1 : 0;
+    if (produces_dst == -1) {
+      produces_dst = dst;
+    } else if (produces_dst != dst) {
+      return fail(isa, "disagrees with the other ISA patterns on {dst}");
+    }
+  }
+  if (produces_dst == -1) {
+    return Status::InvalidArgument("description table op '" + name +
+                                   "' has no pattern for any ISA");
+  }
+  return Status::OK();
+}
+
+Status DescriptionTable::Validate() const {
+  for (const auto& [name, pattern] : ops_) {
+    HEF_RETURN_NOT_OK(ValidatePattern(name, pattern));
+  }
+  return Status::OK();
 }
 
 bool DescriptionTable::Contains(const std::string& name) const {

@@ -48,6 +48,21 @@ class DescriptionTable {
   // operators, §VII).
   void AddOp(const std::string& name, OpPattern pattern);
 
+  // As AddOp, but rejects patterns whose placeholders disagree with the
+  // declared arity/has_immediate (e.g. an arity-2 op whose avx2 pattern
+  // never references {b}). The returned Status names the offending op.
+  Status AddOpChecked(const std::string& name, OpPattern pattern);
+
+  // Placeholder/arity self-check for one op. Each non-empty ISA pattern
+  // must reference {a}, reference {b} iff arity == 2, reference {imm} iff
+  // has_immediate, use no unknown placeholders, and agree with the other
+  // ISA patterns on whether {dst} is produced.
+  static Status ValidatePattern(const std::string& name,
+                                const OpPattern& pattern);
+
+  // Validates every registered op (table-load check).
+  Status Validate() const;
+
   bool Contains(const std::string& name) const;
   Result<OpPattern> Lookup(const std::string& name) const;
 

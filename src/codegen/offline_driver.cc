@@ -62,4 +62,14 @@ Result<CompiledKernel> OfflineDriver::Compile(const std::string& source,
   return CompiledKernel(handle, fn);
 }
 
+Result<CompiledKernel> OfflineDriver::CompileOperator(
+    const OperatorTemplate& op, const DescriptionTable& table,
+    const TranslateOptions& options, const std::string& tag) {
+  TranslateOptions verified = options;
+  verified.verify = true;  // unverified kernels never reach the compiler
+  Result<std::string> source = TranslateOperator(op, table, verified);
+  HEF_RETURN_NOT_OK(source.status());
+  return Compile(source.value(), tag);
+}
+
 }  // namespace hef

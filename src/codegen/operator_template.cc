@@ -77,7 +77,14 @@ bool OperatorTemplate::IsPointer(const std::string& n) const {
          pointer_params.end();
 }
 
-Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
+namespace {
+
+// Shared parser. `strict` adds the semantic layer Parse() has always
+// enforced (declared names only, definition-before-use, load/store/gather
+// shapes, required stream traffic); ParseSyntaxOnly() turns it off so the
+// HID verifier can collect every semantic diagnostic itself.
+Result<OperatorTemplate> ParseTemplate(const std::string& text,
+                                       bool strict) {
   OperatorTemplate t;
   bool in_body = false;
   bool loaded = false;
@@ -109,6 +116,7 @@ Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
         const std::string name = Trim(line.substr(4));
         if (!IsIdentifier(name)) return fail("bad ptr name");
         t.pointer_params.push_back(name);
+        t.decl_lines.emplace(name, line_no);
         if (t.pointer_params.size() > 1) {
           return fail("at most one ptr parameter is supported");
         }
@@ -124,12 +132,14 @@ Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
           return fail("bad const");
         }
         t.constants[name] = value;
+        t.decl_lines.emplace(name, line_no);
         continue;
       }
       if (line.rfind("var ", 0) == 0) {
         const std::string name = Trim(line.substr(4));
         if (!IsIdentifier(name)) return fail("bad var name");
         t.variables.push_back(name);
+        t.decl_lines.emplace(name, line_no);
         continue;
       }
       if (line == "body:") {
@@ -141,6 +151,7 @@ Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
 
     // Body statement: "dst = hi_op(...)" or "hi_store_epi64(OUT, src)".
     TemplateStatement st;
+    st.line = line_no;
     std::string expr = line;
     const auto eq = line.find('=');
     // '=' inside the call parens never happens in this grammar, so a
@@ -148,8 +159,11 @@ Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
     const auto paren = line.find('(');
     if (eq != std::string::npos && eq < paren) {
       st.dst = Trim(line.substr(0, eq));
-      if (!t.IsVariable(st.dst)) {
+      if (strict && !t.IsVariable(st.dst)) {
         return fail("assignment to undeclared variable '" + st.dst + "'");
+      }
+      if (!strict && !IsIdentifier(st.dst)) {
+        return fail("bad destination name");
       }
       expr = Trim(line.substr(eq + 1));
     }
@@ -166,38 +180,45 @@ Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
         if (st.has_immediate) return fail("multiple immediates");
         st.immediate = imm;
         st.has_immediate = true;
+      } else if (!strict && IsIdentifier(arg)) {
+        // Undeclared name: kept for the verifier to flag (HID003).
+        st.args.push_back(arg);
       } else {
         return fail("unknown argument '" + arg + "'");
       }
     }
 
-    // Definition-before-use: every variable operand (beyond the store
-    // source, checked below like any other) must have been assigned by an
-    // earlier statement.
-    for (const std::string& arg : st.args) {
-      if (t.IsVariable(arg) && assigned.count(arg) == 0) {
-        return fail("variable '" + arg + "' read before assignment");
+    if (strict) {
+      // Definition-before-use: every variable operand (beyond the store
+      // source, checked below like any other) must have been assigned by
+      // an earlier statement.
+      for (const std::string& arg : st.args) {
+        if (t.IsVariable(arg) && assigned.count(arg) == 0) {
+          return fail("variable '" + arg + "' read before assignment");
+        }
       }
     }
     if (!st.dst.empty()) assigned.insert(st.dst);
 
     // Structural checks.
     if (st.op == "hi_load_epi64") {
-      if (st.args.size() != 1 || st.args[0] != "IN" || st.dst.empty()) {
+      if (strict &&
+          (st.args.size() != 1 || st.args[0] != "IN" || st.dst.empty())) {
         return fail("load must be '<var> = hi_load_epi64(IN)'");
       }
       loaded = true;
     } else if (st.op == "hi_store_epi64") {
-      if (st.args.size() != 2 || st.args[0] != "OUT" || !st.dst.empty()) {
+      if (strict &&
+          (st.args.size() != 2 || st.args[0] != "OUT" || !st.dst.empty())) {
         return fail("store must be 'hi_store_epi64(OUT, <var>)'");
       }
       stored = true;
     } else if (st.op == "hi_gather_epi64") {
-      if (st.args.size() != 2 || !t.IsPointer(st.args[0]) ||
-          st.dst.empty()) {
+      if (strict && (st.args.size() != 2 || !t.IsPointer(st.args[0]) ||
+                     st.dst.empty())) {
         return fail("gather must be '<var> = hi_gather_epi64(<ptr>, <var>)'");
       }
-    } else {
+    } else if (strict) {
       if (st.dst.empty()) return fail("computational op needs a dst");
       for (const std::string& arg : st.args) {
         if (arg == "IN" || arg == "OUT" || t.IsPointer(arg)) {
@@ -209,14 +230,25 @@ Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
   }
 
   if (t.name.empty()) return Status::InvalidArgument("missing operator name");
-  if (!in_body || t.body.empty()) {
+  if (!in_body || (strict && t.body.empty())) {
     return Status::InvalidArgument("missing body");
   }
-  if (!loaded || !stored) {
+  if (strict && (!loaded || !stored)) {
     return Status::InvalidArgument(
         "body must load from IN and store to OUT");
   }
   return t;
+}
+
+}  // namespace
+
+Result<OperatorTemplate> OperatorTemplate::Parse(const std::string& text) {
+  return ParseTemplate(text, /*strict=*/true);
+}
+
+Result<OperatorTemplate> OperatorTemplate::ParseSyntaxOnly(
+    const std::string& text) {
+  return ParseTemplate(text, /*strict=*/false);
 }
 
 Result<OperatorTemplate> OperatorTemplate::ParseFile(

@@ -38,6 +38,7 @@ struct TemplateStatement {
                                    // "IN" / "OUT" stream markers
   std::uint64_t immediate = 0;     // shift counts
   bool has_immediate = false;
+  int line = 0;                    // 1-based source line (diagnostics)
 };
 
 struct OperatorTemplate {
@@ -46,9 +47,19 @@ struct OperatorTemplate {
   std::map<std::string, std::uint64_t> constants;    // name -> value
   std::vector<std::string> variables;
   std::vector<TemplateStatement> body;
+  // Source line of each declaration (ptr/const/var), for diagnostics.
+  std::map<std::string, int> decl_lines;
 
   // Parses and validates a template. Errors carry the offending line.
   static Result<OperatorTemplate> Parse(const std::string& text);
+
+  // Grammar-only parse: accepts templates that are syntactically well
+  // formed but semantically wrong (undeclared names, reads before
+  // assignment, malformed load/store/gather shapes, missing stream
+  // traffic). The HID verifier (src/analysis) consumes this form so it
+  // can report *all* semantic diagnostics with rule IDs instead of
+  // stopping at the first, the way Parse() does.
+  static Result<OperatorTemplate> ParseSyntaxOnly(const std::string& text);
 
   // Reads and parses a template file (IoError if unreadable).
   static Result<OperatorTemplate> ParseFile(const std::string& path);

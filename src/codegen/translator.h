@@ -24,6 +24,13 @@ struct TranslateOptions {
   // ISA of the vector statements; scalar statements always use the scalar
   // column of the description table.
   Isa vector_isa = Isa::kAvx512;
+  // Run the HID verifier over the template before expansion and the
+  // dependence checker over the emitted source after (src/analysis).
+  // Verification failures return InvalidArgument; a dependence-distance
+  // violation in the output returns Internal (it would mean Algorithm 1's
+  // line-major expansion is broken). Callers re-translating an
+  // already-verified template in a hot loop may turn this off.
+  bool verify = true;
 };
 
 // Every generated kernel exports this fixed entry point so the offline

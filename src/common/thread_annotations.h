@@ -1,0 +1,53 @@
+// Clang thread-safety annotations (-Wthread-safety), compiled out on
+// other compilers. Annotating a member with HEF_GUARDED_BY(mu_) makes
+// clang prove, at compile time, that every access holds the mutex — the
+// concurrency invariants of TaskPool, PlanCache, and FaultRegistry become
+// machine-checked instead of comment-only. The CI clang job builds with
+// -Wthread-safety -Werror; g++ builds see empty macros.
+//
+// Only the subset this codebase uses is defined; see clang's
+// "Thread Safety Analysis" documentation for the full attribute family.
+
+#ifndef HEF_COMMON_THREAD_ANNOTATIONS_H_
+#define HEF_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define HEF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HEF_THREAD_ANNOTATION
+#define HEF_THREAD_ANNOTATION(x)
+#endif
+
+// On a data member: may only be read or written while holding `mu`.
+#define HEF_GUARDED_BY(mu) HEF_THREAD_ANNOTATION(guarded_by(mu))
+
+// On a pointer member: the *pointee* is protected by `mu` (the pointer
+// itself is not).
+#define HEF_PT_GUARDED_BY(mu) HEF_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+// On a function: callers must hold `mu` / must NOT hold `mu`.
+#define HEF_REQUIRES(...) \
+  HEF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HEF_EXCLUDES(...) \
+  HEF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: acquires / releases `mu` as a side effect.
+#define HEF_ACQUIRE(...) \
+  HEF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HEF_RELEASE(...) \
+  HEF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// On a class: it is a lockable capability (mutex wrappers).
+#define HEF_CAPABILITY(x) HEF_THREAD_ANNOTATION(capability(x))
+#define HEF_SCOPED_CAPABILITY HEF_THREAD_ANNOTATION(scoped_lockable)
+
+// On a function: opt out of the analysis. Used where the locking pattern
+// is correct but outside what the checker can follow (e.g. a worker loop
+// that unlocks around the task body, or a destructor that joins threads
+// after releasing the lock).
+#define HEF_NO_THREAD_SAFETY_ANALYSIS \
+  HEF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // HEF_COMMON_THREAD_ANNOTATIONS_H_

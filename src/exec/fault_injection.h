@@ -34,6 +34,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/query_context.h"
 
 namespace hef::exec {
@@ -95,7 +96,7 @@ class FaultRegistry {
 
   static std::atomic<int> armed_count_;
   mutable std::mutex mu_;
-  std::map<std::string, State> points_;
+  std::map<std::string, State> points_ HEF_GUARDED_BY(mu_);
 };
 
 }  // namespace hef::exec

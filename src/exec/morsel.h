@@ -68,6 +68,11 @@ class MorselScheduler {
   int workers() const { return workers_; }
 
  private:
+  // Lock-free by design: every shared member below is a std::atomic and
+  // there is no mutex to hang a HEF_GUARDED_BY off (see
+  // common/thread_annotations.h) — the non-atomic ctx_ must be set before
+  // the run starts and is read-only during it.
+  //
   // {begin, end} packed as (begin << 32) | end so claims and steals are
   // single-word CAS transitions. Padded to a cache line: each shard is
   // written mostly by its owner.

@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "telemetry/metrics.h"
 
 namespace hef::exec {
@@ -102,7 +103,7 @@ class PlanCache {
 
  private:
   mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Entry>> entries_;
+  std::map<Key, std::unique_ptr<Entry>> entries_ HEF_GUARDED_BY(mu_);
   telemetry::Counter& hits_;
   telemetry::Counter& misses_;
 };

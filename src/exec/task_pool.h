@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace hef::exec {
 
 // Upper bound on pool threads (matches EngineConfig's thread-count range).
@@ -60,21 +62,26 @@ class TaskPool {
 
   // Pool threads spawned so far (excludes callers). For the
   // exec.pool_threads gauge and tests.
-  int spawned_threads() const;
+  int spawned_threads() const HEF_EXCLUDES(mu_);
 
-  ~TaskPool();
+  // Joins the pool threads. Reads threads_ after releasing mu_ — safe
+  // because nothing may race a destructor, but outside the checker's
+  // model.
+  ~TaskPool() HEF_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   TaskPool() = default;
 
-  void EnsureThreads(int wanted);
-  void WorkerLoop();
+  void EnsureThreads(int wanted) HEF_EXCLUDES(mu_);
+  // Relocks around each task body (unique_lock unlock/lock), a pattern
+  // the analysis cannot follow.
+  void WorkerLoop() HEF_NO_THREAD_SAFETY_ANALYSIS;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> queue_ HEF_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ HEF_GUARDED_BY(mu_);
+  bool shutdown_ HEF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hef::exec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/register_pressure.h"
 #include "common/macros.h"
 
 namespace hef {
@@ -46,6 +47,30 @@ HybridConfig GenerateInitialCandidate(const ProcessorModel& model,
   p = std::max(1, p);
 
   return HybridConfig{v, s, p};
+}
+
+HybridConfig GenerateInitialCandidate(const ProcessorModel& model,
+                                      const OperatorTraits& traits,
+                                      int max_live_vars,
+                                      int num_constants) {
+  HybridConfig cfg = GenerateInitialCandidate(model, traits);
+  auto fits = [&](const HybridConfig& c) {
+    return analysis::EstimatePressure(max_live_vars, num_constants, c,
+                                      traits.vector_isa)
+        .fits();
+  };
+  while (!fits(cfg)) {
+    if (cfg.p > 1) {
+      --cfg.p;
+    } else if (cfg.s >= cfg.v && cfg.s > 0 && cfg.v + cfg.s > 1) {
+      --cfg.s;
+    } else if (cfg.v > 0 && cfg.v + cfg.s > 1) {
+      --cfg.v;
+    } else {
+      break;  // minimal config; let the tuner's root exemption handle it
+    }
+  }
+  return cfg;
 }
 
 }  // namespace hef

@@ -41,6 +41,16 @@ struct OperatorTraits {
 HybridConfig GenerateInitialCandidate(const ProcessorModel& model,
                                       const OperatorTraits& traits);
 
+// Pressure-aware variant: runs the heuristic, then shrinks the seed
+// (p first, then whichever of v/s is wider) until the static
+// register-pressure estimate (analysis::EstimatePressure with the given
+// template live-variable and constant counts) fits the register file.
+// Guarantees the search never *starts* on a node the tuner's
+// static_check would have rejected.
+HybridConfig GenerateInitialCandidate(const ProcessorModel& model,
+                                      const OperatorTraits& traits,
+                                      int max_live_vars, int num_constants);
+
 }  // namespace hef
 
 #endif  // HEF_TUNER_CANDIDATE_GENERATOR_H_

@@ -6,6 +6,8 @@
 #include "algo/crc64.h"
 #include "algo/murmur.h"
 #include "algo/reduce.h"
+#include "analysis/register_pressure.h"
+#include "codegen/operator_template.h"
 #include "common/aligned_buffer.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -38,6 +40,38 @@ SupportedFn InGrid(const std::vector<HybridConfig>& configs) {
   };
 }
 
+// Register-pressure admission for the two template-backed kernels: the
+// live-variable and constant counts come straight off the builtin HID
+// templates, so the tuner and the translator reason from the same model.
+const OperatorTemplate& MurmurTemplate() {
+  static const OperatorTemplate t =
+      OperatorTemplate::Parse(BuiltinMurmurTemplate()).value();
+  return t;
+}
+
+const OperatorTemplate& Crc64Template() {
+  static const OperatorTemplate t =
+      OperatorTemplate::Parse(BuiltinCrc64Template()).value();
+  return t;
+}
+
+StaticCheckFn MurmurPressureCheck() {
+  return analysis::MakePressureCheck(MurmurTemplate(),
+                                     CpuFeatures::Get().BestIsa());
+}
+
+StaticCheckFn Crc64PressureCheck() {
+  return analysis::MakePressureCheck(Crc64Template(),
+                                     CpuFeatures::Get().BestIsa());
+}
+
+// The gather kernel is just index + loaded value (the probe profile lives
+// in kernel_tuners.h so the query tuner shares it).
+constexpr int kProbeLiveValues = kProbePipelineLiveValues;
+constexpr int kProbeConstants = kProbePipelineConstants;
+constexpr int kGatherLiveValues = 2;
+constexpr int kGatherConstants = 0;
+
 // Clamps the candidate generator's seed into the compiled grid so the
 // search always has a valid starting node.
 HybridConfig ClampToGrid(HybridConfig cfg,
@@ -65,12 +99,15 @@ TuneResult TuneMurmur(const KernelTuneOptions& options) {
 
   const auto& grid = MurmurSupportedConfigs();
   const HybridConfig initial = ClampToGrid(
-      GenerateInitialCandidate(options.model,
-                               {MurmurKernel::Ops(),
-                                CpuFeatures::Get().BestIsa()}),
+      GenerateInitialCandidate(
+          options.model,
+          {MurmurKernel::Ops(), CpuFeatures::Get().BestIsa()},
+          analysis::MaxLiveTemplateVars(MurmurTemplate()),
+          static_cast<int>(MurmurTemplate().constants.size())),
       grid);
   TuneOptions tune;
   tune.is_supported = InGrid(grid);
+  tune.static_check = MurmurPressureCheck();
   return Tune(
       initial,
       [&](const HybridConfig& cfg) {
@@ -90,10 +127,13 @@ TuneResult TuneCrc64(const KernelTuneOptions& options) {
   const auto& grid = Crc64SupportedConfigs();
   const HybridConfig initial = ClampToGrid(
       GenerateInitialCandidate(
-          options.model, {Crc64Kernel::Ops(), CpuFeatures::Get().BestIsa()}),
+          options.model, {Crc64Kernel::Ops(), CpuFeatures::Get().BestIsa()},
+          analysis::MaxLiveTemplateVars(Crc64Template()),
+          static_cast<int>(Crc64Template().constants.size())),
       grid);
   TuneOptions tune;
   tune.is_supported = InGrid(grid);
+  tune.static_check = Crc64PressureCheck();
   return Tune(
       initial,
       [&](const HybridConfig& cfg) {
@@ -127,10 +167,13 @@ TuneResult TuneProbe(const KernelTuneOptions& options) {
   const auto& grid = ProbeSupportedConfigs();
   const HybridConfig initial = ClampToGrid(
       GenerateInitialCandidate(
-          options.model, {ProbeKernel::Ops(), CpuFeatures::Get().BestIsa()}),
+          options.model, {ProbeKernel::Ops(), CpuFeatures::Get().BestIsa()},
+          kProbeLiveValues, kProbeConstants),
       grid);
   TuneOptions tune;
   tune.is_supported = InGrid(grid);
+  tune.static_check = analysis::MakePressureCheck(
+      kProbeLiveValues, kProbeConstants, CpuFeatures::Get().BestIsa());
   return Tune(
       initial,
       [&](const HybridConfig& cfg) {
@@ -156,10 +199,13 @@ TuneResult TuneGather(const KernelTuneOptions& options) {
   const auto& grid = GatherSupportedConfigs();
   const HybridConfig initial = ClampToGrid(
       GenerateInitialCandidate(
-          options.model, {GatherKernelOps(), CpuFeatures::Get().BestIsa()}),
+          options.model, {GatherKernelOps(), CpuFeatures::Get().BestIsa()},
+          kGatherLiveValues, kGatherConstants),
       grid);
   TuneOptions tune;
   tune.is_supported = InGrid(grid);
+  tune.static_check = analysis::MakePressureCheck(
+      kGatherLiveValues, kGatherConstants, CpuFeatures::Get().BestIsa());
   return Tune(
       initial,
       [&](const HybridConfig& cfg) {

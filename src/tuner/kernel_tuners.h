@@ -30,6 +30,14 @@ struct KernelTuneOptions {
   double probe_hit_rate = 0.5;
 };
 
+// Probe-pipeline register profile for static pressure admission
+// (analysis::MakePressureCheck), shared by the probe kernel tuner and the
+// per-query tuner: each instance keeps the key, the hash-chain temporary,
+// and the probe result live, over three shared constants (murmur
+// multiplier, seed fold, slot mask).
+inline constexpr int kProbePipelineLiveValues = 3;
+inline constexpr int kProbePipelineConstants = 3;
+
 // Each returns the pruning-search result for the respective kernel; the
 // initial node comes from GenerateInitialCandidate on the kernel's op mix.
 TuneResult TuneMurmur(const KernelTuneOptions& options = {});

@@ -107,8 +107,24 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
 
   while (result.nodes_tested < options.max_measurements) {
     for (const HybridConfig& next : Neighbors(current)) {
-      if (!next.valid() || !options.is_supported(next)) continue;
+      if (!next.valid()) continue;
       if (tested.count(next) != 0) continue;
+      if (options.static_check) {
+        const Status admitted = options.static_check(next);
+        if (!admitted.ok()) {
+          // Rejected before measurement: record (trace + counter), mark
+          // tested so other expansions don't re-reject it, and never
+          // call MeasureCandidate.
+          tested[next] = std::numeric_limits<double>::infinity();
+          ++result.nodes_rejected_static;
+          result.trace.push_back(TuneStep{next, 0.0, current,
+                                          /*winner=*/false,
+                                          /*timed_out=*/false,
+                                          /*rejected_static=*/true});
+          continue;
+        }
+      }
+      if (!options.is_supported(next)) continue;
       const double t = run(next, current);
       if (t < current_time) {
         result.trace.back().winner = true;
@@ -141,6 +157,8 @@ TuneResult Tune(const HybridConfig& initial, const MeasureFn& measure,
       .Increment(static_cast<std::uint64_t>(result.nodes_pruned));
   registry.counter("tuner.candidates_timed_out")
       .Increment(static_cast<std::uint64_t>(result.nodes_timed_out));
+  registry.counter("tuner.candidates_rejected_static")
+      .Increment(static_cast<std::uint64_t>(result.nodes_rejected_static));
   return result;
 }
 
@@ -158,6 +176,16 @@ TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
   bool first = true;
   for (const HybridConfig& cfg : space) {
     if (!cfg.valid()) continue;
+    if (options.static_check) {
+      const Status admitted = options.static_check(cfg);
+      if (!admitted.ok()) {
+        ++result.nodes_rejected_static;
+        result.trace.push_back(TuneStep{cfg, 0.0, cfg, /*winner=*/false,
+                                        /*timed_out=*/false,
+                                        /*rejected_static=*/true});
+        continue;
+      }
+    }
     const CandidateSample sample = MeasureCandidate(measure, cfg, options);
     const double t = EffectiveSeconds(sample);
     ++result.nodes_tested;
@@ -180,6 +208,8 @@ TuneResult TuneExhaustive(const std::vector<HybridConfig>& space,
       .Increment(static_cast<std::uint64_t>(result.nodes_tested));
   registry.counter("tuner.candidates_timed_out")
       .Increment(static_cast<std::uint64_t>(result.nodes_timed_out));
+  registry.counter("tuner.candidates_rejected_static")
+      .Increment(static_cast<std::uint64_t>(result.nodes_rejected_static));
   return result;
 }
 

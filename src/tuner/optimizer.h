@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "hybrid/hybrid_config.h"
 
 namespace hef {
@@ -33,8 +34,21 @@ using MeasureFn = std::function<double(const HybridConfig&)>;
 // HybridGrid). Nodes failing the filter are silently skipped.
 using SupportedFn = std::function<bool(const HybridConfig&)>;
 
+// Static admission check (e.g. the register-pressure estimate from
+// src/analysis): OK admits the candidate, an error rejects it with a
+// reason. Unlike is_supported, rejections are *recorded* — the node
+// appears in the trace with rejected_static = true and is counted in
+// nodes_rejected_static / tuner.candidates_rejected_static.
+using StaticCheckFn = std::function<Status(const HybridConfig&)>;
+
 struct TuneOptions {
   SupportedFn is_supported;  // required
+  // Optional: evaluated before is_supported and before any measurement —
+  // a rejected candidate never reaches MeasureCandidate (the whole point:
+  // pruning doomed configs costs an estimate, not a benchmark run). The
+  // search root is exempt; the caller chose it, and clamped fallback
+  // roots must stay usable even when the estimate dislikes them.
+  StaticCheckFn static_check;
   // Safety valve on total measurements (the space is finite anyway).
   int max_measurements = 1000;
   // Measurement repetitions per candidate; the candidate's effective time
@@ -65,6 +79,9 @@ struct TuneStep {
   bool winner = false;
   // The candidate blew its watchdog budget and was force-pruned.
   bool timed_out = false;
+  // The candidate failed TuneOptions::static_check and was rejected
+  // without being measured (seconds is 0 and meaningless).
+  bool rejected_static = false;
 };
 
 struct TuneResult {
@@ -77,6 +94,9 @@ struct TuneResult {
   // Candidates force-pruned by the per-candidate watchdog (also counted
   // in nodes_pruned when they would have been expanded otherwise).
   int nodes_timed_out = 0;
+  // Candidates rejected by static_check before measurement (not counted
+  // in nodes_tested — they were never benchmarked).
+  int nodes_rejected_static = 0;
   // Measurement log in test order (config, seconds).
   std::vector<std::pair<HybridConfig, double>> history;
   // Measurement log with parent/winner classification (same order as

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "analysis/register_pressure.h"
 #include "common/stopwatch.h"
+#include "procinfo/cpu_features.h"
 #include "engine/engine.h"
 #include "table/probe.h"
+#include "tuner/kernel_tuners.h"
 
 namespace hef {
 
@@ -53,6 +56,11 @@ QueryTuneResult TuneQueriesProbe(const ssb::SsbDatabase& db,
   tune.is_supported = supported;
   tune.trials = options.trials;
   tune.watchdog_seconds = options.watchdog_seconds;
+  if (options.static_pressure_check) {
+    tune.static_check = analysis::MakePressureCheck(
+        kProbePipelineLiveValues, kProbePipelineConstants,
+        CpuFeatures::Get().BestIsa());
+  }
   TuneResult r = Tune(initial, measure, tune);
 
   QueryTuneResult out;

@@ -37,6 +37,11 @@ struct QueryTuneOptions {
   // pruned, recorded as timed_out in the trace).
   int trials = 1;
   double watchdog_seconds = 0;
+  // Static register-pressure admission (src/analysis): candidates whose
+  // estimated probe-pipeline pressure exceeds the register file are
+  // rejected before the query ever runs, counted in
+  // search.nodes_rejected_static / tuner.candidates_rejected_static.
+  bool static_pressure_check = true;
 };
 
 struct QueryTuneResult {

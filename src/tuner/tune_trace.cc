@@ -25,6 +25,7 @@ std::string TuneTraceToJson(const TuneResult& result) {
   w.Key("nodes_tested").Int(result.nodes_tested);
   w.Key("nodes_pruned").Int(result.nodes_pruned);
   w.Key("nodes_timed_out").Int(result.nodes_timed_out);
+  w.Key("nodes_rejected_static").Int(result.nodes_rejected_static);
   w.Key("steps").BeginArray();
   for (const TuneStep& step : result.trace) {
     w.BeginObject();
@@ -36,6 +37,7 @@ std::string TuneTraceToJson(const TuneResult& result) {
     WriteConfig(w, step.parent);
     w.Key("winner").Bool(step.winner);
     w.Key("timed_out").Bool(step.timed_out);
+    w.Key("rejected_static").Bool(step.rejected_static);
     w.EndObject();
   }
   w.EndArray();

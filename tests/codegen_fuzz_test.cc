@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dependence_checker.h"
+#include "analysis/hid_verifier.h"
 #include "codegen/description_table.h"
 #include "codegen/offline_driver.h"
 #include "codegen/operator_template.h"
@@ -144,6 +146,84 @@ TEST(CodegenFuzzTest, RandomTemplatesMatchInterpreter) {
           << " element " << i;
     }
   }
+}
+
+// Replaces the first occurrence of `from` in `text`.
+std::string ReplaceFirst(std::string text, const std::string& from,
+                         const std::string& to) {
+  const auto at = text.find(from);
+  if (at != std::string::npos) text.replace(at, from.size(), to);
+  return text;
+}
+
+// Deterministic corruptions of a valid fuzzer template. Every mutation
+// produces a template the verifier must reject (each maps to a rule ID).
+std::string Mutate(const std::string& text, int kind) {
+  switch (kind % 6) {
+    case 0:  // undeclared destination/use (HID002/HID003)
+      return ReplaceFirst(text, "var b\n", "");
+    case 1:  // unknown op (HID007)
+      return ReplaceFirst(text, "hi_xor_epi64", "hi_rotl_epi64");
+    case 2:  // load not reading IN (HID004)
+      return ReplaceFirst(text, "hi_load_epi64(IN)", "hi_load_epi64(c0)");
+    case 3:  // no OUT store (HID010)
+      return ReplaceFirst(text, "hi_store_epi64(OUT, ", "b = hi_xor_epi64(b, ");
+    case 4:  // out-of-range shift (HID009)
+      return text + "a = hi_srli_epi64(a, 64)\nhi_store_epi64(OUT, a)\n";
+    default:  // wrong arity (HID006)
+      return ReplaceFirst(text, "hi_xor_epi64(a, c0)", "hi_xor_epi64(a)");
+  }
+}
+
+// The static-analysis closure property: every template the fuzzer can
+// produce either fails verification, or its translation provably keeps
+// adjacent emitted statements a full pack apart (§IV-B). There is no
+// third outcome — no template may verify clean and then translate into a
+// dependent chunk loop.
+TEST(CodegenFuzzTest, VerifiedTemplatesTranslateToProvenLoops) {
+  Rng rng(0xA11A);
+  const DescriptionTable table = DescriptionTable::Builtin();
+  const std::vector<HybridConfig> configs = {
+      {0, 1, 1}, {1, 0, 1}, {1, 3, 2}, {2, 2, 3}, {0, 4, 2}};
+  int verified = 0;
+  int rejected = 0;
+  for (int round = 0; round < 36; ++round) {
+    std::string text = RandomTemplate(rng, round % 2 == 1);
+    const bool mutated = round % 3 == 0;
+    if (mutated) text = Mutate(text, round / 3);
+    SCOPED_TRACE(text);
+
+    analysis::VerifyOptions vopts;
+    OperatorTemplate op;
+    const auto diags =
+        analysis::LintTemplateText(text, table, vopts, &op);
+    if (analysis::HasErrors(diags)) {
+      ++rejected;
+      // The translator must refuse what the verifier refused.
+      if (OperatorTemplate::ParseSyntaxOnly(text).ok()) {
+        TranslateOptions options;
+        options.config = configs[round % configs.size()];
+        EXPECT_FALSE(
+            TranslateOperator(op, table, options).ok());
+      }
+      continue;
+    }
+    EXPECT_FALSE(mutated) << "mutation escaped the verifier";
+    ++verified;
+
+    const HybridConfig cfg = configs[round % configs.size()];
+    TranslateOptions options;
+    options.config = cfg;
+    const auto source = TranslateOperator(op, table, options);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+    const auto report = analysis::CheckDependences(source.value(), cfg);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report.value().ProvesPackClaim()) << cfg.ToString();
+    EXPECT_EQ(report.value().instances_per_line,
+              cfg.p * (cfg.v + cfg.s));
+  }
+  EXPECT_GT(verified, 0);
+  EXPECT_GT(rejected, 0);
 }
 
 }  // namespace

@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
+#include "analysis/register_pressure.h"
+#include "procinfo/cpu_features.h"
 #include "ssb/database.h"
+#include "tuner/kernel_tuners.h"
 #include "tuner/query_tuner.h"
 #include "tuner/search_space.h"
 #include "tuner/tuning_cache.h"
@@ -131,6 +135,55 @@ TEST(QueryTunerTest, MultiQueryTuningAggregatesCosts) {
   EXPECT_TRUE(r.probe.valid());
   // Cost is the sum over both queries: strictly positive.
   EXPECT_GT(r.best_seconds, 0);
+}
+
+TEST(QueryTunerTest, StaticPressureRejectsCandidatesBeforeMeasurement) {
+  // The Q2.1 acceptance exhibit: from root (1,2,2) — scalar pressure
+  // 2*2*3+3 = 15/16, admitted — the first expansion generates (1,3,2) and
+  // (1,2,3), both at 21/16 scalar, so the register-pressure gate must
+  // reject candidates on this search regardless of timing noise, and no
+  // rejected candidate may ever be benchmarked.
+  const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(0.005, 7);
+  QueryTuneOptions options;
+  options.initial_probe = HybridConfig{1, 2, 2};
+  options.repetitions = 1;
+  const QueryTuneResult r = TuneQueryProbe(db, QueryId::kQ2_1, options);
+  EXPECT_GT(r.search.nodes_rejected_static, 0);
+  const Isa isa = CpuFeatures::Get().BestIsa();
+  for (const TuneStep& step : r.search.trace) {
+    if (!step.rejected_static) continue;
+    EXPECT_FALSE(analysis::EstimatePressure(kProbePipelineLiveValues,
+                                            kProbePipelineConstants,
+                                            step.config, isa)
+                     .fits())
+        << step.config.ToString();
+    // Never measured: a rejected node must not appear in the history.
+    EXPECT_TRUE(std::none_of(
+        r.search.history.begin(), r.search.history.end(),
+        [&](const auto& entry) { return entry.first == step.config; }))
+        << step.config.ToString();
+  }
+  // Everything that *was* measured fits the register file (the root is
+  // exempt by contract, but this root fits anyway).
+  for (const auto& [cfg, t] : r.search.history) {
+    EXPECT_TRUE(analysis::EstimatePressure(kProbePipelineLiveValues,
+                                           kProbePipelineConstants, cfg,
+                                           isa)
+                    .fits())
+        << cfg.ToString();
+    (void)t;
+  }
+}
+
+TEST(QueryTunerTest, StaticPressureCheckCanBeDisabled) {
+  const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(0.005, 7);
+  QueryTuneOptions options;
+  options.initial_probe = HybridConfig{1, 2, 2};
+  options.repetitions = 1;
+  options.static_pressure_check = false;
+  const QueryTuneResult r = TuneQueryProbe(db, QueryId::kQ2_1, options);
+  EXPECT_EQ(r.search.nodes_rejected_static, 0);
+  EXPECT_TRUE(r.probe.valid());
 }
 
 TEST(QueryTunerTest, UnsupportedInitialFallsBack) {

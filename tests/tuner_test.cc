@@ -237,13 +237,13 @@ TEST(TuneTraceTest, JsonGolden) {
   EXPECT_EQ(TuneTraceToJson(r),
             "{\"best\":{\"v\":1,\"s\":3,\"p\":2},"
             "\"best_seconds\":0.5,\"nodes_tested\":2,\"nodes_pruned\":1,"
-            "\"nodes_timed_out\":0,\"steps\":["
+            "\"nodes_timed_out\":0,\"nodes_rejected_static\":0,\"steps\":["
             "{\"v\":1,\"s\":3,\"p\":2,\"seconds\":0.5,"
             "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":true,"
-            "\"timed_out\":false},"
+            "\"timed_out\":false,\"rejected_static\":false},"
             "{\"v\":2,\"s\":3,\"p\":2,\"seconds\":0.75,"
             "\"parent\":{\"v\":1,\"s\":3,\"p\":2},\"winner\":false,"
-            "\"timed_out\":false}]}");
+            "\"timed_out\":false,\"rejected_static\":false}]}");
 }
 
 // --- measurement hardening: trials / median / watchdog ----------------
@@ -354,6 +354,97 @@ TEST(OptimizerTest, ExhaustiveWithOptionsAppliesWatchdog) {
   }
   EXPECT_EQ(r.best, want);
   EXPECT_DOUBLE_EQ(r.best_time, want_cost);
+}
+
+// --- static admission (src/analysis register-pressure pruning) --------
+
+TEST(OptimizerTest, StaticallyRejectedNodesAreNeverMeasured) {
+  std::set<HybridConfig> measured;
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 3 && cfg.s <= 4 && cfg.p <= 3;
+  };
+  // Reject everything with p >= 2 — the kind of cut the register-pressure
+  // model makes — and prove no such node ever reaches the measure fn.
+  options.static_check = [](const HybridConfig& cfg) {
+    return cfg.p >= 2 ? Status::InvalidArgument("over pressure")
+                      : Status::OK();
+  };
+  const TuneResult r = Tune(
+      HybridConfig{2, 2, 1},
+      [&](const HybridConfig& cfg) {
+        measured.insert(cfg);
+        return ConvexCost(cfg);
+      },
+      options);
+  EXPECT_GT(r.nodes_rejected_static, 0);
+  for (const HybridConfig& cfg : measured) {
+    EXPECT_LT(cfg.p, 2) << cfg.ToString();
+  }
+  for (const auto& [cfg, t] : r.history) {
+    EXPECT_LT(cfg.p, 2) << cfg.ToString();
+    (void)t;
+  }
+  int flagged = 0;
+  for (const TuneStep& step : r.trace) {
+    if (step.rejected_static) {
+      ++flagged;
+      EXPECT_GE(step.config.p, 2) << step.config.ToString();
+      EXPECT_FALSE(step.winner);
+      EXPECT_EQ(measured.count(step.config), 0u) << step.config.ToString();
+    }
+  }
+  EXPECT_EQ(flagged, r.nodes_rejected_static);
+  // The best is found within the admitted subspace.
+  EXPECT_EQ(r.best.p, 1);
+}
+
+TEST(OptimizerTest, SearchRootIsExemptFromStaticCheck) {
+  // Callers clamp fall-back roots into the grid; the root must always be
+  // measured even if the static model would reject it, or the search has
+  // nowhere to start.
+  int root_measured = 0;
+  TuneOptions options;
+  options.is_supported = [](const HybridConfig& cfg) {
+    return cfg.v <= 2 && cfg.s <= 2 && cfg.p <= 2;
+  };
+  options.static_check = [](const HybridConfig&) {
+    return Status::InvalidArgument("rejects everything");
+  };
+  const HybridConfig root{1, 1, 1};
+  const TuneResult r = Tune(
+      root,
+      [&](const HybridConfig& cfg) {
+        if (cfg == root) ++root_measured;
+        return ConvexCost(cfg);
+      },
+      options);
+  EXPECT_EQ(root_measured, 1);
+  EXPECT_EQ(r.best, root);
+  EXPECT_EQ(r.nodes_tested, 1);
+  EXPECT_GT(r.nodes_rejected_static, 0);  // every neighbour was rejected
+}
+
+TEST(OptimizerTest, ExhaustiveAppliesStaticCheck) {
+  const auto space = EnumerateSearchSpace(2, 2, 2);
+  std::set<HybridConfig> measured;
+  TuneOptions options;
+  options.static_check = [](const HybridConfig& cfg) {
+    return cfg.p == 2 ? Status::InvalidArgument("over pressure")
+                      : Status::OK();
+  };
+  const TuneResult r = TuneExhaustive(
+      space,
+      [&](const HybridConfig& cfg) {
+        measured.insert(cfg);
+        return ConvexCost(cfg);
+      },
+      options);
+  EXPECT_GT(r.nodes_rejected_static, 0);
+  for (const HybridConfig& cfg : measured) {
+    EXPECT_NE(cfg.p, 2) << cfg.ToString();
+  }
+  EXPECT_NE(r.best.p, 2);
 }
 
 TEST(KernelTunersTest, AllKernelTunersProduceValidOptima) {

@@ -5,6 +5,7 @@
 //   hef query --query=2.1 --sf=0.1    run an SSB query (all engines)
 //   hef sql --query=2.1               print the query's SQL
 //   hef generate --config=v1s3p2      print translator output
+//   hef lint a.hid b.hid [--json=..]  verify templates (HID001… rules)
 //
 // Every subcommand accepts --help. The global --trace=PATH flag (or the
 // HEF_TRACE environment variable) enables span tracing for the whole
@@ -14,8 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/dependence_checker.h"
+#include "analysis/hid_verifier.h"
+#include "analysis/register_pressure.h"
 #include "codegen/description_table.h"
 #include "codegen/operator_template.h"
 #include "codegen/translator.h"
@@ -29,6 +36,7 @@
 #include "procinfo/cpu_features.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 #include "tuner/kernel_tuners.h"
@@ -369,12 +377,184 @@ int CmdGenerate(int argc, char** argv) {
   return std::system(cmd.c_str()) == 0 ? 0 : 1;
 }
 
+// `hef lint` — run the HID static verifier over template files and print
+// every diagnostic as `file:line: severity [HIDxxx] message`. With no
+// files, the built-in murmur and crc64 templates are linted (the CI smoke
+// gate relies on them being clean). With --config, each clean template is
+// additionally translated and its output proven independent (dependence
+// distance >= pack width, §IV-B) and sized against the register file.
+int CmdLint(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddString("isa", "avx512",
+                  "avx512 | avx2 — description-table column the vector "
+                  "statements must have");
+  flags.AddString("config", "",
+                  "(v,s,p) coordinate, e.g. v1s3p2: also translate each "
+                  "clean template and run the dependence checker and "
+                  "register-pressure estimate on the result");
+  flags.AddBool("host-isa", false,
+                "warn (HID011) when the requested ISA is not supported by "
+                "this host's CPU");
+  flags.AddString("json", "",
+                  "write machine-readable diagnostics (hef-lint-v1) to "
+                  "this path");
+  if (!flags.Parse(argc, argv).ok() || flags.HelpRequested()) {
+    flags.PrintUsage("hef lint [template.hid ...]");
+    return flags.HelpRequested() ? 0 : 1;
+  }
+  const std::string isa_name = flags.GetString("isa");
+  if (isa_name != "avx512" && isa_name != "avx2") {
+    std::fprintf(stderr, "unknown --isa '%s' (avx512 | avx2)\n",
+                 isa_name.c_str());
+    return 1;
+  }
+  analysis::VerifyOptions verify;
+  verify.vector_isa = isa_name == "avx2" ? Isa::kAvx2 : Isa::kAvx512;
+  verify.check_host_isa = flags.GetBool("host-isa");
+
+  HybridConfig config{0, 0, 0};
+  const bool deep = !flags.GetString("config").empty();
+  if (deep) {
+    const auto parsed = HybridConfig::Parse(flags.GetString("config"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    config = parsed.value();
+  }
+
+  // (name shown in diagnostics, template text).
+  std::vector<std::pair<std::string, std::string>> inputs;
+  if (flags.positional().empty()) {
+    inputs.emplace_back("<builtin murmur>", BuiltinMurmurTemplate());
+    inputs.emplace_back("<builtin crc64>", BuiltinCrc64Template());
+  }
+  for (const std::string& path : flags.positional()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    inputs.emplace_back(path, text.str());
+  }
+
+  const DescriptionTable& table = DescriptionTable::Builtin();
+  telemetry::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("hef-lint-v1");
+  w.Key("isa").String(isa_name);
+  if (deep) w.Key("config").String(config.ToString());
+  w.Key("templates").BeginArray();
+
+  int errors_total = 0;
+  int warnings_total = 0;
+  for (const auto& [name, text] : inputs) {
+    OperatorTemplate op;
+    const std::vector<analysis::Diagnostic> diags =
+        analysis::LintTemplateText(text, table, verify, &op);
+    w.BeginObject();
+    w.Key("file").String(name);
+    w.Key("operator").String(op.name);
+    int errors = 0, warnings = 0;
+    w.Key("diagnostics").BeginArray();
+    for (const analysis::Diagnostic& d : diags) {
+      std::printf("%s:%d: %s [%s] %s\n", name.c_str(), d.line,
+                  analysis::SeverityName(d.severity), d.rule_id.c_str(),
+                  d.message.c_str());
+      (d.severity == analysis::Severity::kError ? errors : warnings)++;
+      w.BeginObject();
+      w.Key("rule").String(d.rule_id);
+      w.Key("severity").String(analysis::SeverityName(d.severity));
+      w.Key("line").Int(d.line);
+      w.Key("message").String(d.message);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("errors").Int(errors);
+    w.Key("warnings").Int(warnings);
+    errors_total += errors;
+    warnings_total += warnings;
+
+    if (deep && errors == 0) {
+      TranslateOptions topts;
+      topts.config = config;
+      topts.vector_isa = verify.vector_isa;
+      const auto source = TranslateOperator(op, table, topts);
+      if (!source.ok()) {
+        std::printf("%s: error [translate] %s\n", name.c_str(),
+                    source.status().ToString().c_str());
+        ++errors_total;
+        w.Key("translate_error").String(source.status().ToString());
+      } else {
+        const auto report =
+            analysis::CheckDependences(source.value(), config);
+        if (!report.ok()) {
+          std::printf("%s: error [deps] %s\n", name.c_str(),
+                      report.status().ToString().c_str());
+          ++errors_total;
+          w.Key("dependence_error").String(report.status().ToString());
+        } else {
+          const analysis::DependenceReport& r = report.value();
+          const analysis::RegisterPressure pressure =
+              analysis::EstimatePressure(op, config, verify.vector_isa);
+          std::printf(
+              "%s: %s: %d statements, min dependence distance %d "
+              "(pack width %d) — pack claim %s; pressure %s%s\n",
+              name.c_str(), config.ToString().c_str(), r.statements,
+              r.min_distance, r.pack_width,
+              r.ProvesPackClaim() ? "PROVEN" : "VIOLATED",
+              pressure.ToString().c_str(),
+              pressure.fits() ? "" : " (exceeds register file)");
+          if (!r.ProvesPackClaim()) ++errors_total;
+          w.Key("dependence").BeginObject();
+          w.Key("statements").Int(r.statements);
+          w.Key("pack_width").Int(r.pack_width);
+          w.Key("instances_per_line").Int(r.instances_per_line);
+          w.Key("min_distance").Int(r.min_distance);
+          w.Key("has_dependence").Bool(r.has_dependence);
+          w.Key("pack_claim_proven").Bool(r.ProvesPackClaim());
+          w.EndObject();
+          w.Key("pressure").BeginObject();
+          w.Key("scalar_live").Int(pressure.scalar_live);
+          w.Key("scalar_limit").Int(pressure.scalar_limit);
+          w.Key("vector_live").Int(pressure.vector_live);
+          w.Key("vector_limit").Int(pressure.vector_limit);
+          w.Key("fits").Bool(pressure.fits());
+          w.EndObject();
+        }
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("errors_total").Int(errors_total);
+  w.Key("warnings_total").Int(warnings_total);
+  w.EndObject();
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << w.Take() << "\n";
+    std::printf("wrote lint report to %s\n", json_path.c_str());
+  }
+  std::printf("%d error(s), %d warning(s) across %zu template(s)\n",
+              errors_total, warnings_total, inputs.size());
+  return errors_total == 0 ? 0 : 1;
+}
+
 int Dispatch(const std::string& cmd, int argc, char** argv) {
   if (cmd == "info") return CmdInfo(argc, argv);
   if (cmd == "tune") return CmdTune(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "sql") return CmdSql(argc, argv);
   if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "lint") return CmdLint(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 1;
 }
@@ -403,7 +583,7 @@ int Main(int argc, char** argv) {
       std::strcmp(argv[1], "-h") == 0) {
     std::fprintf(stderr,
                  "usage: hef [--trace=PATH] "
-                 "<info|tune|query|sql|generate> [flags]\n");
+                 "<info|tune|query|sql|generate|lint> [flags]\n");
     return argc < 2 ? 1 : 0;
   }
   const std::string cmd = argv[1];
