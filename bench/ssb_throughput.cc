@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,9 +38,13 @@
 #include "engine/engine.h"
 #include "engine/reference.h"
 #include "exec/runtime.h"
+#include "perf/pmu_sampler.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
 #include "telemetry/metrics.h"
+#include "telemetry/metrics_http.h"
+#include "telemetry/profiler.h"
+#include "telemetry/span.h"
 #include "voila/voila_engine.h"
 
 namespace hef {
@@ -63,12 +68,15 @@ std::vector<QueryId> ParseMix(const std::string& text) {
   return mix;
 }
 
-// Exact percentile over the sorted sample vector (nearest-rank).
-double PercentileMs(const std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(
-      p / 100.0 * static_cast<double>(sorted_ms.size() - 1) + 0.5);
-  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+// Latencies are recorded into log-linear histograms in microseconds
+// (integer ticks fine enough that the <=6.25% bucket width dominates the
+// error) and read back as milliseconds.
+double HistQuantileMs(const telemetry::Histogram& hist, double q) {
+  return hist.Quantile(q) * 1e-3;
+}
+
+double HistMeanMs(const telemetry::Histogram& hist) {
+  return hist.Mean() * 1e-3;
 }
 
 // Only transient failures are worth retrying; a deadline or cancellation
@@ -115,6 +123,17 @@ int Main(int argc, char** argv) {
                 "cross-check one pass of the mix against the reference");
   flags.AddString("json", "",
                   "write a hef-bench-v1 JSON report to this path");
+  flags.AddString("profile", "",
+                  "sample the replay loop with the wall-clock profiler "
+                  "and write collapsed stacks (flamegraph.pl format) to "
+                  "this path");
+  flags.AddString("trace", "",
+                  "write a chrome://tracing trace-event file (spans plus "
+                  "PMU counter tracks) to this path");
+  flags.AddInt64("metrics_port", -1,
+                 "serve Prometheus text metrics on "
+                 "http://127.0.0.1:PORT/metrics while the bench runs "
+                 "(0 = ephemeral port, -1 = off)");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -139,6 +158,26 @@ int Main(int argc, char** argv) {
     return 1;
   }
   HEF_CHECK_MSG(!mix.empty(), "empty query mix");
+
+  // Observability side-channels: a Prometheus scrape endpoint for the
+  // whole run, and span tracing with PMU counter lanes when requested.
+  telemetry::MetricsHttpServer metrics_server;
+  const int metrics_port = static_cast<int>(flags.GetInt64("metrics_port"));
+  if (metrics_port >= 0) {
+    const Status ms = metrics_server.Start(metrics_port);
+    if (!ms.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", ms.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving http://127.0.0.1:%d/metrics\n",
+                metrics_server.port());
+  }
+  const std::string trace_path = flags.GetString("trace");
+  PmuSampler pmu_sampler;
+  if (!trace_path.empty()) {
+    telemetry::SpanTracer::Get().SetEnabled(true);
+    (void)pmu_sampler.Start();
+  }
 
   std::printf("== SSB serving throughput ==\n");
   std::printf("flavor %s, %zu-query mix, %.1fs, threads=%s, plans %s\n",
@@ -208,14 +247,35 @@ int Main(int argc, char** argv) {
       registry.counter("exec.morsels_dispatched").value();
   const std::uint64_t steals0 = registry.counter("exec.steals").value();
 
+  const std::string profile_path = flags.GetString("profile");
+  if (!profile_path.empty()) {
+    // Cover only the measured replay loop, so samples attribute to the
+    // engines' spans rather than generation or warmup.
+    const Status ps = telemetry::Profiler::Get().Start();
+    if (!ps.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", ps.ToString().c_str());
+      return 1;
+    }
+  }
+
   // The replay loop: round-robin over the mix until the clock runs out,
   // one latency sample per successful query execution. Each attempt runs
   // under its own deadline context; transient failures retry with
   // backoff, terminal outcomes are counted and the loop moves on — a
   // serving process does not die because one request did.
-  std::vector<std::vector<double>> per_query_ms(mix.size());
+  //
+  // Latencies land in log-linear histograms (microsecond ticks): one per
+  // query for the table rows, plus the process-wide hef.query_latency
+  // registry histogram that the Prometheus endpoint and the report's
+  // metrics dump (bucket bounds, counts, sum, quantiles) expose.
+  std::vector<std::unique_ptr<telemetry::Histogram>> per_query_hist;
+  for (std::size_t q = 0; q < mix.size(); ++q) {
+    per_query_hist.push_back(std::make_unique<telemetry::Histogram>());
+  }
+  telemetry::Histogram& latency_hist =
+      registry.histogram("hef.query_latency");
   std::vector<std::uint64_t> per_query_timeouts(mix.size(), 0);
-  std::vector<double> all_ms;
+  std::uint64_t n_ok = 0;
   std::uint64_t n_cancelled = 0, n_deadline = 0, n_failed = 0,
                 n_retries = 0;
   Rng backoff_rng(0x5eedf00dULL);
@@ -235,10 +295,10 @@ int Main(int argc, char** argv) {
       }
       const Result<QueryResult> result = run_ctx(id, ctx);
       if (result.ok()) {
-        const double ms =
-            static_cast<double>(MonotonicNanos() - q0) * 1e-6;
-        per_query_ms[qi].push_back(ms);
-        all_ms.push_back(ms);
+        const std::uint64_t micros = (MonotonicNanos() - q0) / 1000;
+        per_query_hist[qi]->Observe(micros);
+        latency_hist.Observe(micros);
+        ++n_ok;
         break;
       }
       const StatusCode code = result.status().code();
@@ -268,6 +328,12 @@ int Main(int argc, char** argv) {
   const double elapsed =
       static_cast<double>(MonotonicNanos() - t_begin) * 1e-9;
 
+  std::vector<telemetry::ProfileSample> profile_samples;
+  if (!profile_path.empty()) {
+    telemetry::Profiler::Get().Stop();
+    profile_samples = telemetry::Profiler::Get().TakeSamples();
+  }
+
   const std::uint64_t morsels =
       registry.counter("exec.morsels_dispatched").value() - morsels0;
   const std::uint64_t steals =
@@ -275,11 +341,11 @@ int Main(int argc, char** argv) {
   const auto pool_threads =
       static_cast<int>(registry.gauge("exec.pool_threads").value());
 
-  std::sort(all_ms.begin(), all_ms.end());
-  const double qps = static_cast<double>(all_ms.size()) / elapsed;
-  const double p50 = PercentileMs(all_ms, 50);
-  const double p95 = PercentileMs(all_ms, 95);
-  const double p99 = PercentileMs(all_ms, 99);
+  const double qps = static_cast<double>(n_ok) / elapsed;
+  const double p50 = HistQuantileMs(latency_hist, 0.50);
+  const double p95 = HistQuantileMs(latency_hist, 0.95);
+  const double p99 = HistQuantileMs(latency_hist, 0.99);
+  const double p999 = HistQuantileMs(latency_hist, 0.999);
 
   telemetry::BenchReport report("ssb_throughput");
   report.SetConfig("scale_factor", sf);
@@ -296,23 +362,19 @@ int Main(int argc, char** argv) {
   table.AddRow(
       {"query", "runs", "timeouts", "mean (ms)", "p50 (ms)", "p99 (ms)"});
   for (std::size_t q = 0; q < mix.size(); ++q) {
-    auto& samples = per_query_ms[q];
-    if (samples.empty() && per_query_timeouts[q] == 0) continue;
-    double sum = 0;
-    for (const double v : samples) sum += v;
-    const double mean =
-        samples.empty() ? 0
-                        : sum / static_cast<double>(samples.size());
-    std::sort(samples.begin(), samples.end());
-    const double qp50 = PercentileMs(samples, 50);
-    const double qp99 = PercentileMs(samples, 99);
-    table.AddRow({QueryName(mix[q]), std::to_string(samples.size()),
+    const telemetry::Histogram& hist = *per_query_hist[q];
+    const std::uint64_t runs = hist.Count();
+    if (runs == 0 && per_query_timeouts[q] == 0) continue;
+    const double mean = HistMeanMs(hist);
+    const double qp50 = HistQuantileMs(hist, 0.50);
+    const double qp99 = HistQuantileMs(hist, 0.99);
+    table.AddRow({QueryName(mix[q]), std::to_string(runs),
                   std::to_string(per_query_timeouts[q]),
                   TextTable::Num(mean, 2), TextTable::Num(qp50, 2),
                   TextTable::Num(qp99, 2)});
     report.AddResult()
         .Set("query", QueryName(mix[q]))
-        .Set("runs", static_cast<std::uint64_t>(samples.size()))
+        .Set("runs", runs)
         .Set("timeouts", per_query_timeouts[q])
         .Set("mean_ms", mean)
         .Set("p50_ms", qp50)
@@ -320,11 +382,12 @@ int Main(int argc, char** argv) {
   }
   report.AddResult()
       .Set("query", "TOTAL")
-      .Set("runs", static_cast<std::uint64_t>(all_ms.size()))
+      .Set("runs", n_ok)
       .Set("qps", qps)
       .Set("p50_ms", p50)
       .Set("p95_ms", p95)
       .Set("p99_ms", p99)
+      .Set("p999_ms", p999)
       .Set("elapsed_s", elapsed)
       .Set("cancelled", n_cancelled)
       .Set("deadline_exceeded", n_deadline)
@@ -335,16 +398,17 @@ int Main(int argc, char** argv) {
       .Set("pool_threads", pool_threads);
 
   std::printf("\n%s\n", table.ToString().c_str());
-  std::printf("total: %zu ok queries in %.2fs -> %.1f queries/sec\n",
-              all_ms.size(), elapsed, qps);
+  std::printf("total: %llu ok queries in %.2fs -> %.1f queries/sec\n",
+              static_cast<unsigned long long>(n_ok), elapsed, qps);
   std::printf("outcomes: %llu cancelled, %llu deadline_exceeded, "
               "%llu failed, %llu retries\n",
               static_cast<unsigned long long>(n_cancelled),
               static_cast<unsigned long long>(n_deadline),
               static_cast<unsigned long long>(n_failed),
               static_cast<unsigned long long>(n_retries));
-  std::printf("latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", p50, p95,
-              p99);
+  std::printf("latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, "
+              "p999 %.2f ms\n",
+              p50, p95, p99, p999);
   std::printf("scheduler: %llu morsels dispatched, %llu steals, %d pool "
               "threads\n",
               static_cast<unsigned long long>(morsels),
@@ -359,6 +423,29 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
+  if (!profile_path.empty()) {
+    const Status fs = telemetry::Profiler::WriteFoldedFile(profile_path,
+                                                           profile_samples);
+    if (!fs.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", fs.ToString().c_str());
+      return 1;
+    }
+    std::printf("profile (%s):\n%s", profile_path.c_str(),
+                telemetry::Profiler::SelfTimeTable(
+                    profile_samples,
+                    telemetry::Profiler::Get().period_nanos())
+                    .c_str());
+  }
+  if (!trace_path.empty()) {
+    pmu_sampler.Stop();
+    const Status ts = telemetry::SpanTracer::Get().WriteTraceFile(trace_path);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace: %s\n", ts.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
   }
   return 0;
 }

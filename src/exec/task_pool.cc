@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 
 namespace hef::exec {
 
@@ -55,6 +56,9 @@ void TaskPool::EnsureThreads(int wanted) {
 }
 
 void TaskPool::WorkerLoop() {
+  // Pool workers run the engine's pipelines; register with the sampling
+  // profiler up front so a later Start() arms a timer for this thread.
+  telemetry::Profiler::RegisterCurrentThread();
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });

@@ -15,6 +15,17 @@
 // enabled/running; readings taken under multiplexing carry
 // `scaled == true` and their `running_fraction` so downstream consumers
 // can tell an extrapolated count from an exact one.
+//
+// Threading and fd-set ownership: a PerfCounters object is NOT
+// thread-safe and must be started, read, and stopped by one owner.
+// Concurrent *measurements* use separate instances — the engine gives
+// every worker its own group for per-operator attribution, and the PMU
+// timeline sampler (perf/pmu_sampler.h) opens yet another, process-wide
+// group on its own thread. Separate groups never share state in user
+// space; when they oversubscribe the hardware the kernel multiplexes
+// them and the enabled/running scaling above keeps each reading
+// individually correct. So "sampler on + per-operator attribution on"
+// is a supported configuration by construction, not by locking.
 
 #ifndef HEF_PERF_PERF_COUNTERS_H_
 #define HEF_PERF_PERF_COUNTERS_H_

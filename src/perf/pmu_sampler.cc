@@ -1,0 +1,71 @@
+#include "perf/pmu_sampler.h"
+
+#include <chrono>
+
+#include "common/stopwatch.h"
+#include "perf/perf_counters.h"
+#include "telemetry/span.h"
+
+namespace hef {
+
+Status PmuSampler::Start(const PmuSamplerOptions& options) {
+  if (running_.load(std::memory_order_relaxed)) {
+    return Status::Internal("pmu sampler already running");
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this, options] { SampleLoop(options); });
+  return Status::OK();
+}
+
+void PmuSampler::Stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void PmuSampler::SampleLoop(PmuSamplerOptions options) {
+  // The sampler's own counter group: deliberately separate from the
+  // engine workers' per-thread groups (see header comment on
+  // multiplexing), opened and closed entirely on this thread.
+  PerfCounters perf;
+  if (!perf.available()) {
+    // Nothing to record; still honor the loop so Stop() semantics match.
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return;
+  }
+  perf.Start();
+  telemetry::SpanTracer& tracer = telemetry::SpanTracer::Get();
+  PerfReading prev = perf.ReadNow();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options.period_nanos));
+    const PerfReading now = perf.ReadNow();
+    const std::uint64_t nanos = MonotonicNanos();
+    if (!now.valid || !prev.valid) {
+      prev = now;
+      continue;
+    }
+    const double d_instructions =
+        static_cast<double>(now.instructions - prev.instructions);
+    const double d_cycles = static_cast<double>(now.cycles - prev.cycles);
+    const double d_llc = static_cast<double>(now.llc_misses - prev.llc_misses);
+    const double d_seconds = now.elapsed_seconds - prev.elapsed_seconds;
+    if (d_cycles > 0) {
+      tracer.RecordCounter("pmu.ipc", nanos, d_instructions / d_cycles);
+    }
+    tracer.RecordCounter("pmu.llc_misses", nanos, d_llc);
+    if (d_seconds > 0) {
+      tracer.RecordCounter("pmu.ghz", nanos, d_cycles / d_seconds * 1e-9);
+    }
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    prev = now;
+  }
+  perf.Stop();
+}
+
+}  // namespace hef

@@ -1,0 +1,68 @@
+// Periodic PMU timeline sampling for trace counter tracks.
+//
+// A background thread owns a private PerfCounters group and reads it on a
+// fixed period (default 10 ms); each window's deltas are recorded into
+// the SpanTracer as counter events ("pmu.ipc", "pmu.llc_misses",
+// "pmu.ghz"), which export as chrome://tracing "C" tracks — value lanes
+// that line up under the span timeline, so an IPC dip or an LLC-miss
+// burst is visually attributable to the operator running at that moment.
+//
+// Concurrency with per-operator attribution: the engine's workers each
+// own their *own* PerfCounters instance (see engine.cc), and this sampler
+// never touches them — it opens a second, process-wide counter group.
+// perf_event multiplexing makes the two coexist correctly: when hardware
+// counters are oversubscribed the kernel time-slices the groups and every
+// reading is scaled by enabled/running (and flagged `scaled`), so the
+// sampler adds no data race and no double counting, only (bounded)
+// multiplexing noise. This is asserted under TSan in profiler_test.cc.
+//
+// On machines without PMU access (containers, locked-down VMs) Start()
+// succeeds but records nothing; the trace simply has no PMU lanes.
+
+#ifndef HEF_PERF_PMU_SAMPLER_H_
+#define HEF_PERF_PMU_SAMPLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hef {
+
+struct PmuSamplerOptions {
+  std::uint64_t period_nanos = 10'000'000;  // 10 ms per counter sample
+};
+
+class PmuSampler {
+ public:
+  PmuSampler() = default;
+  ~PmuSampler() { Stop(); }
+  HEF_DISALLOW_COPY_AND_ASSIGN(PmuSampler);
+
+  // Starts the sampling thread. Internal when already running. Always OK
+  // otherwise — PMU unavailability degrades to an empty timeline.
+  Status Start(const PmuSamplerOptions& options = PmuSamplerOptions());
+
+  // Stops and joins the sampling thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  // Counter windows recorded so far (0 when the PMU is unavailable).
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void SampleLoop(PmuSamplerOptions options);
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> samples_{0};
+  std::thread thread_;
+};
+
+}  // namespace hef
+
+#endif  // HEF_PERF_PMU_SAMPLER_H_

@@ -1,0 +1,271 @@
+#include "telemetry/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/text_table.h"
+#include "telemetry/json_value.h"
+#include "telemetry/json_writer.h"
+
+namespace hef::telemetry {
+
+namespace {
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// +1 higher-better, -1 lower-better, 0 not a performance metric.
+int MetricDirection(const std::string& name) {
+  if (Contains(name, "qps") || Contains(name, "ipc") ||
+      Contains(name, "throughput") || Contains(name, "per_sec") ||
+      Contains(name, "speedup") || Contains(name, "ghz")) {
+    return 1;
+  }
+  if (EndsWith(name, "_ms") || EndsWith(name, "_us") ||
+      EndsWith(name, "_ns") || EndsWith(name, "_sec") ||
+      Contains(name, "latency") || Contains(name, "miss") ||
+      Contains(name, "instructions") || Contains(name, "cycles") ||
+      Contains(name, "stall") || Contains(name, "branch")) {
+    return -1;
+  }
+  return 0;  // counts, scale factors, ids: not judged
+}
+
+// A matched-row identity: the concatenation of the row's string cells.
+std::string RowKey(const JsonValue& row) {
+  std::string key;
+  for (const auto& [name, value] : row.object()) {
+    if (!value.is_string()) continue;
+    if (!key.empty()) key += ' ';
+    key += name + "=" + value.string();
+  }
+  return key.empty() ? "(row)" : key;
+}
+
+double Median(std::vector<double> values) {
+  const std::size_t n = values.size();
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  const double upper = values[n / 2];
+  if (n % 2 == 1) return upper;
+  std::nth_element(values.begin(), values.begin() + n / 2 - 1,
+                   values.begin() + n / 2);
+  return (values[n / 2 - 1] + upper) / 2.0;
+}
+
+Status ValidateDoc(const JsonValue& doc, const char* which) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(std::string(which) +
+                                   " document is not a JSON object");
+  }
+  if (doc.StringOr("schema", "") != "hef-bench-v1") {
+    return Status::InvalidArgument(std::string(which) +
+                                   " document is not schema hef-bench-v1");
+  }
+  const JsonValue* results = doc.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    return Status::InvalidArgument(std::string(which) +
+                                   " document has no results array");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* MetricVerdictName(MetricVerdict verdict) {
+  switch (verdict) {
+    case MetricVerdict::kImproved: return "improved";
+    case MetricVerdict::kRegressed: return "regressed";
+    case MetricVerdict::kWithinNoise: return "within-noise";
+    case MetricVerdict::kMissing: return "missing-metric";
+  }
+  return "unknown";
+}
+
+bool BenchDiffReport::HasRegressions(bool strict) const {
+  for (const MetricDiff& m : metrics) {
+    if (m.verdict == MetricVerdict::kRegressed) return true;
+    if (strict && m.verdict == MetricVerdict::kMissing) return true;
+  }
+  if (strict && !unmatched_baseline_rows.empty()) return true;
+  return false;
+}
+
+std::string BenchDiffReport::ToText() const {
+  TextTable table;
+  table.AddRow({"metric", "dir", "rows", "median_delta", "mad", "threshold",
+                "verdict"});
+  for (const MetricDiff& m : metrics) {
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.2f%%", 100.0 * m.median_delta);
+    table.AddRow({m.metric, m.direction > 0 ? "up" : "down",
+                  std::to_string(m.rows), delta,
+                  TextTable::Num(100.0 * m.mad, 2) + "%",
+                  TextTable::Num(100.0 * m.threshold, 2) + "%",
+                  MetricVerdictName(m.verdict)});
+  }
+  int regressed = 0, improved = 0, missing = 0;
+  for (const MetricDiff& m : metrics) {
+    regressed += m.verdict == MetricVerdict::kRegressed;
+    improved += m.verdict == MetricVerdict::kImproved;
+    missing += m.verdict == MetricVerdict::kMissing;
+  }
+  std::string out = table.ToString();
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%d matched rows; %zu metrics: %d regressed, %d improved, "
+                "%d missing\n",
+                matched_rows, metrics.size(), regressed, improved, missing);
+  out += line;
+  for (const std::string& row : unmatched_baseline_rows) {
+    out += "baseline-only row: " + row + "\n";
+  }
+  for (const std::string& row : unmatched_candidate_rows) {
+    out += "candidate-only row: " + row + "\n";
+  }
+  return out;
+}
+
+std::string BenchDiffReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("hef-bench-diff-v1");
+  w.Key("bench").String(bench);
+  w.Key("matched_rows").Int(matched_rows);
+  w.Key("metrics").BeginArray();
+  for (const MetricDiff& m : metrics) {
+    w.BeginObject();
+    w.Key("metric").String(m.metric);
+    w.Key("direction").String(m.direction > 0 ? "higher_better"
+                                              : "lower_better");
+    w.Key("rows").Int(m.rows);
+    w.Key("median_delta").Double(m.median_delta);
+    w.Key("mad").Double(m.mad);
+    w.Key("threshold").Double(m.threshold);
+    w.Key("verdict").String(MetricVerdictName(m.verdict));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("unmatched_baseline_rows").BeginArray();
+  for (const std::string& row : unmatched_baseline_rows) w.String(row);
+  w.EndArray();
+  w.Key("unmatched_candidate_rows").BeginArray();
+  for (const std::string& row : unmatched_candidate_rows) w.String(row);
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
+                                         const std::string& candidate_json,
+                                         const BenchDiffOptions& options) {
+  Result<JsonValue> baseline = JsonValue::Parse(baseline_json);
+  if (!baseline.ok()) {
+    return Status::InvalidArgument("baseline: " +
+                                   baseline.status().message());
+  }
+  Result<JsonValue> candidate = JsonValue::Parse(candidate_json);
+  if (!candidate.ok()) {
+    return Status::InvalidArgument("candidate: " +
+                                   candidate.status().message());
+  }
+  HEF_RETURN_NOT_OK(ValidateDoc(*baseline, "baseline"));
+  HEF_RETURN_NOT_OK(ValidateDoc(*candidate, "candidate"));
+
+  BenchDiffReport report;
+  report.bench = baseline->StringOr("bench", "");
+
+  // Index candidate rows by key. Duplicate keys (e.g. repeated runs of
+  // the same query) are matched in order of appearance.
+  std::map<std::string, std::vector<const JsonValue*>> candidate_rows;
+  for (const JsonValue& row : candidate->Find("results")->array()) {
+    if (row.is_object()) candidate_rows[RowKey(row)].push_back(&row);
+  }
+  std::map<std::string, std::size_t> used;
+
+  // metric -> (signed relative deltas, baseline-missing-in-candidate?).
+  std::map<std::string, std::vector<double>> deltas;
+  std::set<std::string> missing;
+
+  for (const JsonValue& row : baseline->Find("results")->array()) {
+    if (!row.is_object()) continue;
+    const std::string key = RowKey(row);
+    auto it = candidate_rows.find(key);
+    if (it == candidate_rows.end() || used[key] >= it->second.size()) {
+      report.unmatched_baseline_rows.push_back(key);
+      continue;
+    }
+    const JsonValue& other = *it->second[used[key]++];
+    ++report.matched_rows;
+    for (const auto& [name, value] : row.object()) {
+      if (!value.is_number() || MetricDirection(name) == 0) continue;
+      const JsonValue* counterpart = other.Find(name);
+      if (counterpart == nullptr || !counterpart->is_number()) {
+        missing.insert(name);
+        continue;
+      }
+      const double a = value.number();
+      const double b = counterpart->number();
+      double delta = 0;
+      if (a != 0) {
+        delta = (b - a) / std::fabs(a);
+      } else if (b != 0) {
+        // From zero to nonzero: saturate instead of dividing by zero.
+        delta = b > 0 ? 1.0 : -1.0;
+      }
+      deltas[name].push_back(delta);
+    }
+  }
+  for (const auto& [key, rows] : candidate_rows) {
+    for (std::size_t i = used[key]; i < rows.size(); ++i) {
+      report.unmatched_candidate_rows.push_back(key);
+    }
+  }
+
+  for (const auto& [name, values] : deltas) {
+    MetricDiff m;
+    m.metric = name;
+    m.direction = MetricDirection(name);
+    m.rows = static_cast<int>(values.size());
+    m.median_delta = Median(values);
+    std::vector<double> abs_dev;
+    abs_dev.reserve(values.size());
+    for (double d : values) abs_dev.push_back(std::fabs(d - m.median_delta));
+    m.mad = Median(std::move(abs_dev));
+    m.threshold = options.noise_floor + options.mad_k * m.mad;
+    // Direction-adjusted: positive `bad` means the metric got worse.
+    const double bad = m.direction > 0 ? -m.median_delta : m.median_delta;
+    if (bad > m.threshold) {
+      m.verdict = MetricVerdict::kRegressed;
+    } else if (bad < -m.threshold) {
+      m.verdict = MetricVerdict::kImproved;
+    } else {
+      m.verdict = MetricVerdict::kWithinNoise;
+    }
+    report.metrics.push_back(std::move(m));
+  }
+  for (const std::string& name : missing) {
+    if (deltas.count(name) != 0) continue;  // present in some rows
+    MetricDiff m;
+    m.metric = name;
+    m.direction = MetricDirection(name);
+    m.verdict = MetricVerdict::kMissing;
+    report.metrics.push_back(std::move(m));
+  }
+  std::sort(report.metrics.begin(), report.metrics.end(),
+            [](const MetricDiff& a, const MetricDiff& b) {
+              return a.metric < b.metric;
+            });
+  return report;
+}
+
+}  // namespace hef::telemetry

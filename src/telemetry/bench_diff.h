@@ -1,0 +1,79 @@
+// Noise-aware comparison of two hef-bench-v1 reports (tools/bench_diff).
+//
+// Result rows are matched across the two documents by their string-valued
+// cells (e.g. query="2.1" variant="hef"); every numeric column shared by
+// matched rows becomes a metric series. For each metric the per-row
+// relative deltas (candidate - baseline) / |baseline| are reduced to a
+// median and a MAD (median absolute deviation); the verdict threshold is
+//
+//   threshold = noise_floor + mad_k * MAD
+//
+// so a metric that is intrinsically noisy across rows earns a wider band,
+// while the floor still catches a uniform shift that the MAD (zero when
+// every row moves identically) would mask. Direction is inferred from the
+// metric name: qps/ipc/throughput-like columns are higher-better,
+// time/miss/cycle-like columns are lower-better; columns that look like
+// neither (row counts, scale factors) are skipped.
+//
+// Verdicts: improved / regressed / within-noise / missing-metric (present
+// in the baseline row but absent in the candidate). HasRegressions()
+// drives the CLI exit code; missing metrics fail only under strict.
+
+#ifndef HEF_TELEMETRY_BENCH_DIFF_H_
+#define HEF_TELEMETRY_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hef::telemetry {
+
+struct BenchDiffOptions {
+  // MAD multiplier on top of the noise floor.
+  double mad_k = 3.0;
+  // Minimum relative change (fraction, not percent) treated as signal.
+  double noise_floor = 0.05;
+  // When set, missing metrics and unmatched baseline rows also count as
+  // regressions.
+  bool strict = false;
+};
+
+enum class MetricVerdict { kImproved, kRegressed, kWithinNoise, kMissing };
+
+const char* MetricVerdictName(MetricVerdict verdict);
+
+struct MetricDiff {
+  std::string metric;
+  // +1 when larger is better (qps), -1 when smaller is better (latency).
+  int direction = -1;
+  int rows = 0;               // matched rows contributing deltas
+  double median_delta = 0;    // signed relative delta, median across rows
+  double mad = 0;             // MAD of the relative deltas
+  double threshold = 0;       // noise_floor + mad_k * mad
+  MetricVerdict verdict = MetricVerdict::kWithinNoise;
+};
+
+struct BenchDiffReport {
+  std::string bench;              // harness name from the baseline doc
+  int matched_rows = 0;
+  std::vector<std::string> unmatched_baseline_rows;
+  std::vector<std::string> unmatched_candidate_rows;
+  std::vector<MetricDiff> metrics;
+
+  bool HasRegressions(bool strict) const;
+  // Aligned human-readable table plus a one-line summary.
+  std::string ToText() const;
+  // Machine-readable {"schema":"hef-bench-diff-v1",...} document.
+  std::string ToJson() const;
+};
+
+// Parses two hef-bench-v1 JSON documents and diffs them. InvalidArgument
+// when either document does not parse or is not hef-bench-v1.
+Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
+                                         const std::string& candidate_json,
+                                         const BenchDiffOptions& options);
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_BENCH_DIFF_H_

@@ -1,0 +1,67 @@
+// Minimal JSON document model and recursive-descent parser — just enough
+// to read back the hef-bench-v1 reports this repository's own JsonWriter
+// produces (tools/bench_diff compares two of them). Full JSON is
+// accepted; numbers parse to double, so 64-bit integers beyond 2^53 lose
+// precision — fine for benchmark metrics, not a general-purpose parser.
+
+#ifndef HEF_TELEMETRY_JSON_VALUE_H_
+#define HEF_TELEMETRY_JSON_VALUE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hef::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Convenience: Find(key) if it is a number/string, else fallback.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  // Parses a complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> v);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_JSON_VALUE_H_

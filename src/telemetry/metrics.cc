@@ -1,8 +1,10 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "telemetry/json_writer.h"
+#include "telemetry/prometheus.h"
 
 namespace hef::telemetry {
 
@@ -31,25 +33,63 @@ std::uint64_t Histogram::ApproxPercentile(double p) const {
   return BucketUpperBound(kBuckets - 1);
 }
 
+double Histogram::Quantile(double q) const {
+  const std::uint64_t count = Count();
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest-rank position (1-based) of the requested quantile.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) continue;
+    const std::uint64_t after = seen + in_bucket;
+    if (static_cast<double>(after) >= rank) {
+      // Interpolate linearly between the bucket's bounds by how far the
+      // rank sits among this bucket's samples.
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i));
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
+    }
+    seen = after;
+  }
+  return static_cast<double>(BucketUpperBound(kBuckets - 1));
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
 }
 
 int Histogram::BucketIndex(std::uint64_t value) {
-  return std::bit_width(value);  // 0 for value 0, else 1 + floor(log2)
+  const int w = std::bit_width(value);  // 0 for value 0, else 1+floor(log2)
+  if (w <= kSubBucketBits + 1) return static_cast<int>(value);  // exact
+  // value lies in octave [2^(w-1), 2^w); keep the top kSubBucketBits+1
+  // bits: the leading 1 plus the linear sub-bucket within the octave.
+  const int shift = w - kSubBucketBits - 1;
+  return ((w - kSubBucketBits - 1) << kSubBucketBits) +
+         static_cast<int>(value >> shift);
 }
 
 std::uint64_t Histogram::BucketLowerBound(int i) {
   HEF_DCHECK(i >= 0 && i < kBuckets);
-  return i == 0 ? 0 : 1ull << (i - 1);
+  if (i < 2 * kSubBuckets) return static_cast<std::uint64_t>(i);
+  // Inverse of BucketIndex: i = ((w - kSubBucketBits - 1) << kSubBucketBits)
+  // + m with m in [kSubBuckets, 2*kSubBuckets), so w = (i >> kSubBucketBits)
+  // + kSubBucketBits and the bucket starts at m << (w - kSubBucketBits - 1).
+  const int shift = (i >> kSubBucketBits) - 1;
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(kSubBuckets + (i & (kSubBuckets - 1)));
+  return m << shift;
 }
 
 std::uint64_t Histogram::BucketUpperBound(int i) {
   HEF_DCHECK(i >= 0 && i < kBuckets);
-  if (i == 0) return 0;
-  if (i == 64) return ~0ull;
-  return (1ull << i) - 1;
+  if (i == kBuckets - 1) return ~0ull;
+  return BucketLowerBound(i + 1) - 1;
 }
 
 MetricsRegistry& MetricsRegistry::Get() {
@@ -99,12 +139,15 @@ std::string MetricsRegistry::ToJson() const {
     w.Key("sum").UInt(h->Sum());
     w.Key("mean").Double(h->Mean());
     w.Key("p50").UInt(h->ApproxPercentile(0.50));
+    w.Key("p90").UInt(h->ApproxPercentile(0.90));
     w.Key("p99").UInt(h->ApproxPercentile(0.99));
+    w.Key("p999").UInt(h->ApproxPercentile(0.999));
     w.Key("buckets").BeginArray();
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t count = h->BucketCount(i);
       if (count == 0) continue;
       w.BeginObject();
+      w.Key("lower").UInt(Histogram::BucketLowerBound(i));
       w.Key("le").UInt(Histogram::BucketUpperBound(i));
       w.Key("count").UInt(count);
       w.EndObject();

@@ -48,13 +48,23 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
-// Log-scale histogram over unsigned 64-bit samples. Bucket 0 holds the
-// value 0; bucket i (1 <= i <= 64) holds values in [2^(i-1), 2^i) — i.e.
-// a sample lands in the bucket indexed by its bit width. Fixed buckets
-// keep Observe() allocation-free and exports schema-stable.
+// Log-linear (HDR-style) histogram over unsigned 64-bit samples. Values
+// below 2^(kSubBucketBits+1) land in exact singleton buckets; every
+// higher power-of-two octave is split into 2^kSubBucketBits linear
+// sub-buckets, so the relative width of any bucket is at most
+// 2^-kSubBucketBits (6.25%) — tight enough that a percentile read off the
+// bucket grid is within one bucket bound of the exact order statistic.
+// Fixed buckets keep Observe() allocation-free and exports schema-stable.
 class Histogram {
  public:
-  static constexpr int kBuckets = 65;
+  // 16 linear sub-buckets per octave; values < 32 are exact.
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // Index of the last bucket (holding values up to 2^64-1) plus one:
+  // BucketIndex(~0ull) == ((64 - kSubBucketBits - 1) << kSubBucketBits)
+  //                       + 2 * kSubBuckets - 1.
+  static constexpr int kBuckets =
+      ((64 - kSubBucketBits - 1) << kSubBucketBits) + 2 * kSubBuckets;
 
   void Observe(std::uint64_t value) {
     buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
@@ -71,6 +81,10 @@ class Histogram {
   // Upper bound (inclusive) of the bucket where the cumulative count first
   // reaches `p` (0 < p <= 1) of the total; 0 on an empty histogram.
   std::uint64_t ApproxPercentile(double p) const;
+  // Quantile estimate with linear interpolation inside the target bucket
+  // (q in [0, 1]); bounded by the bucket's value range, so the error is at
+  // most one bucket width. 0 on an empty histogram.
+  double Quantile(double q) const;
   void Reset();
 
   static int BucketIndex(std::uint64_t value);
@@ -101,6 +115,12 @@ class MetricsRegistry {
   // {"counters":{...},"gauges":{...},"histograms":{...}} with names in
   // lexicographic order (deterministic for golden tests).
   std::string ToJson() const;
+
+  // Prometheus text exposition format (version 0.0.4): counters render as
+  // counter series, gauges as gauges, histograms as cumulative
+  // `_bucket{le=...}` series plus `_sum`/`_count`. Metric names are
+  // sanitized through PrometheusName (see telemetry/prometheus.h).
+  std::string ToPrometheusText() const;
 
   // Zeroes every metric (names stay registered). For benches and tests.
   void ResetAll();

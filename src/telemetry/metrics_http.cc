@@ -1,0 +1,132 @@
+#include "telemetry/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace hef::telemetry {
+
+namespace {
+
+// Writes the whole buffer, retrying on EINTR; best-effort (a scraper that
+// hangs up mid-response is its problem, not ours).
+void WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status_line, const std::string& body,
+                         const char* content_type) {
+  std::string out(status_line);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Status MetricsHttpServer::Start(int port) {
+  if (listen_fd_ >= 0) {
+    return Status::Internal("metrics server already started");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IoError(
+        "bind 127.0.0.1:" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 8) != 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // One short read is enough for the request line of a scrape; anything
+    // longer than 4 KiB of headers is not a scraper we serve.
+    char buf[4096];
+    const ssize_t n = read(conn, buf, sizeof(buf) - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string request(buf);
+      const bool get = request.rfind("GET ", 0) == 0;
+      const std::string::size_type sp = request.find(' ', 4);
+      const std::string path =
+          get && sp != std::string::npos ? request.substr(4, sp - 4) : "";
+      if (!get) {
+        WriteAll(conn, HttpResponse("HTTP/1.1 405 Method Not Allowed",
+                                    "method not allowed\n", "text/plain"));
+      } else if (path == "/metrics") {
+        WriteAll(conn,
+                 HttpResponse(
+                     "HTTP/1.1 200 OK",
+                     MetricsRegistry::Get().ToPrometheusText(),
+                     "text/plain; version=0.0.4; charset=utf-8"));
+      } else {
+        WriteAll(conn, HttpResponse("HTTP/1.1 404 Not Found",
+                                    "only /metrics is served\n",
+                                    "text/plain"));
+      }
+    }
+    close(conn);
+  }
+}
+
+}  // namespace hef::telemetry

@@ -1,0 +1,58 @@
+// Minimal blocking HTTP endpoint exposing the metrics registry in
+// Prometheus text format — enough for `curl localhost:PORT/metrics` or a
+// Prometheus scrape job against a long bench run, deliberately nothing
+// more (one accept loop, one request per connection, no keep-alive, no
+// TLS). Binds loopback only: this is an observability side-channel, not
+// a serving surface.
+//
+//   MetricsHttpServer server;
+//   Status st = server.Start(9464);          // 0 picks an ephemeral port
+//   ... run the workload; curl http://127.0.0.1:<server.port()>/metrics
+//   server.Stop();                           // also runs at destruction
+//
+// GET /metrics returns 200 text/plain (version 0.0.4) from
+// MetricsRegistry::Get().ToPrometheusText(); any other path is 404, any
+// other method 405. The accept loop runs on one background thread and
+// polls with a short timeout so Stop() returns promptly.
+
+#ifndef HEF_TELEMETRY_METRICS_HTTP_H_
+#define HEF_TELEMETRY_METRICS_HTTP_H_
+
+#include <atomic>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hef::telemetry {
+
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+  HEF_DISALLOW_COPY_AND_ASSIGN(MetricsHttpServer);
+
+  // Binds 127.0.0.1:port (port 0 = kernel-assigned) and starts the accept
+  // thread. IoError when the socket cannot be created or bound; Internal
+  // when already started.
+  Status Start(int port);
+
+  // Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  // The bound port (useful with Start(0)); 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_METRICS_HTTP_H_

@@ -1,0 +1,402 @@
+#include "telemetry/profiler.h"
+
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/text_table.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+
+// glibc exposes SIGEV_THREAD_ID / sigev_notify_thread_id only under
+// _GNU_SOURCE; provide the stable Linux ABI values when the headers do
+// not (the syscall interface itself is unconditional).
+#ifndef SIGEV_THREAD_ID
+#define SIGEV_THREAD_ID 4
+#endif
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+
+namespace hef::telemetry {
+
+namespace {
+
+// A sample as the signal handler writes it: fixed-size, no allocation.
+struct RawSample {
+  std::uint64_t nanos = 0;
+  std::int32_t depth = 0;
+  const char* frames[ProfileSample::kMaxFrames] = {};
+};
+
+// Per-thread profiling state. Heap-allocated, registered in a global
+// list, and never freed: a late signal delivered while a thread is
+// tearing down must still find valid memory, and the count of threads
+// that ever register is small (main + pool workers).
+struct ThreadState {
+  static constexpr std::uint64_t kRingSize = 1u << 14;  // 16384 samples
+
+  pid_t tid = 0;
+  std::uint32_t thread_id = 0;
+  internal::SpanStack* stack = nullptr;
+
+  timer_t timer{};
+  bool timer_armed = false;
+  bool alive = true;  // guarded by g_mu; false once the thread exited
+
+  // Signal-handler-shared state. `head` counts samples ever produced;
+  // the ring holds the last kRingSize of them. `in_handler` lets Stop()
+  // wait out an in-flight handler before restoring the old disposition.
+  std::atomic<int> in_handler{0};
+  std::atomic<std::uint64_t> head{0};
+  std::uint64_t drained = 0;  // consumed by TakeSamples (main thread only)
+  RawSample* ring = nullptr;  // allocated on first arm, never freed
+};
+
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_period_nanos{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::mutex g_mu;  // guards the registry, timers, and start/stop protocol
+struct sigaction g_old_action;
+
+std::vector<ThreadState*>& Registry() {
+  static auto* registry = new std::vector<ThreadState*>();
+  return *registry;
+}
+
+thread_local ThreadState* t_state = nullptr;
+
+Counter& SamplesDroppedCounter() {
+  static Counter& counter =
+      MetricsRegistry::Get().counter("telemetry.profiler_samples_dropped");
+  return counter;
+}
+
+// clock_gettime is async-signal-safe (POSIX) and the vDSO fast path does
+// not even enter the kernel. Matches MonotonicNanos() (span timestamps)
+// so profiler samples and trace events share a time base.
+std::uint64_t HandlerNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC_RAW, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void SigprofHandler(int /*signo*/, siginfo_t* /*info*/, void* /*ctx*/) {
+  const int saved_errno = errno;
+  ThreadState* state = t_state;
+  if (state != nullptr) {
+    state->in_handler.store(1, std::memory_order_seq_cst);
+    // Re-check after publishing in_handler: Stop() clears g_active first,
+    // then waits for in_handler to drop, so a handler that passes this
+    // check is guaranteed to finish its ring write before rings are read.
+    if (g_active.load(std::memory_order_seq_cst) && state->ring != nullptr) {
+      const std::uint64_t head = state->head.load(std::memory_order_relaxed);
+      RawSample& slot = state->ring[head & (ThreadState::kRingSize - 1)];
+      slot.nanos = HandlerNanos();
+      const int depth = state->stack->depth.load(std::memory_order_relaxed);
+      // Pairs with the signal fence in SpanScope::Begin/End on this same
+      // thread: a depth of d implies frames[0..d) are fully written.
+      std::atomic_signal_fence(std::memory_order_acquire);
+      slot.depth = depth;
+      const int copy = std::min(
+          {depth, ProfileSample::kMaxFrames, internal::SpanStack::kMaxDepth});
+      for (int i = 0; i < copy; ++i) slot.frames[i] = state->stack->frames[i];
+      state->head.store(head + 1, std::memory_order_release);
+    }
+    state->in_handler.store(0, std::memory_order_seq_cst);
+  }
+  errno = saved_errno;
+}
+
+Status ArmTimer(ThreadState* state) {
+  if (state->timer_armed || !state->alive) return Status::OK();
+  if (state->ring == nullptr) {
+    state->ring = new RawSample[ThreadState::kRingSize];
+  }
+  sigevent sev;
+  std::memset(&sev, 0, sizeof(sev));
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = SIGPROF;
+  sev.sigev_notify_thread_id = state->tid;
+  if (timer_create(CLOCK_MONOTONIC, &sev, &state->timer) != 0) {
+    return Status::IoError(std::string("timer_create: ") +
+                           std::strerror(errno));
+  }
+  const std::uint64_t period = g_period_nanos.load(std::memory_order_relaxed);
+  itimerspec its;
+  std::memset(&its, 0, sizeof(its));
+  its.it_interval.tv_sec = static_cast<time_t>(period / 1000000000ull);
+  its.it_interval.tv_nsec = static_cast<long>(period % 1000000000ull);
+  its.it_value = its.it_interval;
+  if (timer_settime(state->timer, 0, &its, nullptr) != 0) {
+    const Status st = Status::IoError(std::string("timer_settime: ") +
+                                      std::strerror(errno));
+    timer_delete(state->timer);
+    return st;
+  }
+  state->timer_armed = true;
+  return Status::OK();
+}
+
+void DisarmTimer(ThreadState* state) {
+  if (!state->timer_armed) return;
+  timer_delete(state->timer);  // also disarms
+  state->timer_armed = false;
+}
+
+// Registers the calling thread; caller holds g_mu.
+ThreadState* RegisterCurrentThreadLocked() {
+  if (t_state != nullptr) return t_state;
+  auto* state = new ThreadState();
+  state->tid = static_cast<pid_t>(syscall(SYS_gettid));
+  state->thread_id = SpanTracer::CurrentThreadId();
+  // Materialize the thread-local span stack now so the signal handler
+  // never takes a lazy-init path.
+  state->stack = &internal::CurrentSpanStack();
+  Registry().push_back(state);
+  t_state = state;
+  return state;
+}
+
+// Disarms the exiting thread's timer so SIGPROF is never delivered to a
+// dead tid (Linux would reuse the id). The state object itself stays in
+// the registry so buffered samples survive until TakeSamples().
+struct ThreadUnregisterer {
+  bool armed = false;
+  ~ThreadUnregisterer() {
+    if (t_state == nullptr) return;
+    std::lock_guard<std::mutex> lock(g_mu);
+    DisarmTimer(t_state);
+    t_state->alive = false;
+    t_state = nullptr;
+  }
+};
+thread_local ThreadUnregisterer t_unregisterer;
+
+std::string SampleStackKey(const ProfileSample& sample) {
+  if (sample.depth <= 0) return "(no span)";
+  std::string key;
+  const int frames =
+      std::min<int>(sample.depth, ProfileSample::kMaxFrames);
+  for (int i = 0; i < frames; ++i) {
+    if (i > 0) key += ';';
+    key += sample.frames[i] != nullptr ? sample.frames[i] : "(null)";
+  }
+  if (sample.depth > ProfileSample::kMaxFrames) key += ";(truncated)";
+  return key;
+}
+
+const char* InnermostSpan(const ProfileSample& sample) {
+  if (sample.depth <= 0) return "(no span)";
+  if (sample.depth > ProfileSample::kMaxFrames) return "(truncated)";
+  const char* name = sample.frames[sample.depth - 1];
+  return name != nullptr ? name : "(null)";
+}
+
+}  // namespace
+
+Profiler& Profiler::Get() {
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+Status Profiler::Start(const ProfilerOptions& options) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_active.load(std::memory_order_relaxed)) {
+    return Status::Internal("profiler already running");
+  }
+  const int hz = std::clamp(options.sample_hz, 1, 10000);
+  g_period_nanos.store(1000000000ull / static_cast<std::uint64_t>(hz),
+                       std::memory_order_relaxed);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = SigprofHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, &g_old_action) != 0) {
+    return Status::IoError(std::string("sigaction: ") + std::strerror(errno));
+  }
+
+  // Span stacks must be maintained before the first signal fires.
+  SpanTracer::Get().SetProfiling(true);
+  g_active.store(true, std::memory_order_seq_cst);
+
+  ThreadState* self = RegisterCurrentThreadLocked();
+  t_unregisterer.armed = true;
+  Status status = Status::OK();
+  for (ThreadState* state : Registry()) {
+    Status st = ArmTimer(state);
+    if (!st.ok() && status.ok()) status = st;
+  }
+  (void)self;
+  if (!status.ok()) {
+    StopLocked();
+    return status;
+  }
+  return Status::OK();
+}
+
+void Profiler::StopLocked() {
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  // Order matters: clear the active flag, delete the timers, wait out
+  // in-flight handlers, then restore the old disposition. A handler that
+  // starts after the flag clears records nothing; one that started
+  // before is waited for, so rings are quiescent when this returns.
+  g_active.store(false, std::memory_order_seq_cst);
+  for (ThreadState* state : Registry()) DisarmTimer(state);
+  for (ThreadState* state : Registry()) {
+    while (state->in_handler.load(std::memory_order_seq_cst) != 0) {
+      sched_yield();
+    }
+  }
+  sigaction(SIGPROF, &g_old_action, nullptr);
+  SpanTracer::Get().SetProfiling(false);
+}
+
+void Profiler::Stop() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  StopLocked();
+}
+
+bool Profiler::running() const {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void Profiler::RegisterCurrentThread() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ThreadState* state = RegisterCurrentThreadLocked();
+  t_unregisterer.armed = true;
+  if (g_active.load(std::memory_order_relaxed)) {
+    (void)ArmTimer(state);  // best-effort: a worker that cannot arm is
+                            // simply not sampled
+  }
+}
+
+std::vector<ProfileSample> Profiler::TakeSamples() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  // Draining while timers fire would race the rings; a caller that
+  // forgets to Stop() gets an implicit one.
+  StopLocked();
+  std::vector<ProfileSample> out;
+  for (ThreadState* state : Registry()) {
+    if (state->ring == nullptr) continue;
+    const std::uint64_t head = state->head.load(std::memory_order_acquire);
+    const std::uint64_t produced = head - state->drained;
+    const std::uint64_t kept = std::min(produced, ThreadState::kRingSize);
+    const std::uint64_t lost = produced - kept;
+    if (lost > 0) {
+      g_dropped.fetch_add(lost, std::memory_order_relaxed);
+      SamplesDroppedCounter().Increment(lost);
+    }
+    for (std::uint64_t i = head - kept; i != head; ++i) {
+      const RawSample& raw = state->ring[i & (ThreadState::kRingSize - 1)];
+      ProfileSample sample;
+      sample.nanos = raw.nanos;
+      sample.thread_id = state->thread_id;
+      sample.depth = raw.depth;
+      const int copy =
+          std::min<int>(std::max(raw.depth, 0), ProfileSample::kMaxFrames);
+      for (int f = 0; f < copy; ++f) sample.frames[f] = raw.frames[f];
+      out.push_back(sample);
+    }
+    state->drained = head;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileSample& a, const ProfileSample& b) {
+              return a.nanos < b.nanos;
+            });
+  return out;
+}
+
+std::uint64_t Profiler::samples_dropped() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::period_nanos() const {
+  return g_period_nanos.load(std::memory_order_relaxed);
+}
+
+std::string Profiler::FoldedStacks(const std::vector<ProfileSample>& samples) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const ProfileSample& sample : samples) {
+    ++counts[SampleStackKey(sample)];
+  }
+  std::string out;
+  for (const auto& [stack, count] : counts) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::SelfTimeTable(const std::vector<ProfileSample>& samples,
+                                    std::uint64_t period_nanos) {
+  std::map<std::string, std::uint64_t> self;
+  for (const ProfileSample& sample : samples) {
+    ++self[InnermostSpan(sample)];
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> rows(self.begin(),
+                                                          self.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  TextTable table;
+  table.AddRow({"span", "samples", "self_ms", "self_pct"});
+  const double total = samples.empty() ? 1.0 : static_cast<double>(samples.size());
+  for (const auto& [name, count] : rows) {
+    table.AddRow({name, std::to_string(count),
+                  TextTable::Num(static_cast<double>(count) *
+                                 static_cast<double>(period_nanos) * 1e-6),
+                  TextTable::Num(100.0 * static_cast<double>(count) / total,
+                                 1)});
+  }
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "%zu samples, %.1f%% attributed to spans\n", samples.size(),
+                100.0 * AttributedFraction(samples));
+  return table.ToString() + line;
+}
+
+double Profiler::AttributedFraction(
+    const std::vector<ProfileSample>& samples) {
+  if (samples.empty()) return 0.0;
+  std::uint64_t attributed = 0;
+  for (const ProfileSample& sample : samples) {
+    if (sample.depth > 0) ++attributed;
+  }
+  return static_cast<double>(attributed) /
+         static_cast<double>(samples.size());
+}
+
+Status Profiler::WriteFoldedFile(const std::string& path,
+                                 const std::vector<ProfileSample>& samples) {
+  const std::string folded = FoldedStacks(samples);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open folded-stack file '" + path + "'");
+  }
+  const std::size_t written = std::fwrite(folded.data(), 1, folded.size(), f);
+  std::fclose(f);
+  if (written != folded.size()) {
+    return Status::IoError("short write to folded-stack file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace hef::telemetry

@@ -1,0 +1,117 @@
+#include "telemetry/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/metrics.h"
+
+namespace hef::telemetry {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void AppendUInt(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, value);
+    double parsed = 0;
+    if (std::sscanf(probe, "%lf", &parsed) == 1 && parsed == value) {
+      return probe;
+    }
+  }
+  return buf;
+}
+
+// Defined here rather than metrics.cc so the exposition format and its
+// helpers stay in one translation unit.
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = PrometheusName(name);
+    out += "# TYPE " + n + " counter\n" + n + " ";
+    AppendUInt(&out, c->value());
+    out += "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = PrometheusName(name);
+    out += "# TYPE " + n + " gauge\n" + n + " " +
+           PrometheusDouble(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = PrometheusName(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t count = h->BucketCount(i);
+      if (count == 0) continue;
+      cumulative += count;
+      out += n + "_bucket{le=\"";
+      AppendUInt(&out, Histogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendUInt(&out, cumulative);
+      out += "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} ";
+    AppendUInt(&out, cumulative);
+    out += "\n" + n + "_sum ";
+    AppendUInt(&out, h->Sum());
+    out += "\n" + n + "_count ";
+    AppendUInt(&out, cumulative);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hef::telemetry

@@ -1,0 +1,33 @@
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry, plus the name/label sanitization helpers the renderer uses.
+//
+// The registry's dot-separated names ("exec.morsels_dispatched") map to
+// Prometheus series names by replacing every character outside
+// [a-zA-Z0-9_:] with '_' ("exec_morsels_dispatched"); a leading digit is
+// prefixed with '_'. Histograms render as the conventional cumulative
+// `<name>_bucket{le="..."}` series (only populated bucket boundaries plus
+// the mandatory `le="+Inf"`), then `<name>_sum` and `<name>_count`.
+// Scrape the output via MetricsHttpServer (telemetry/metrics_http.h).
+
+#ifndef HEF_TELEMETRY_PROMETHEUS_H_
+#define HEF_TELEMETRY_PROMETHEUS_H_
+
+#include <string>
+
+namespace hef::telemetry {
+
+// Sanitizes a metric name to [a-zA-Z_:][a-zA-Z0-9_:]*. Empty input
+// becomes "_".
+std::string PrometheusName(const std::string& name);
+
+// Escapes a label value per the exposition format: backslash, double
+// quote and newline become \\, \" and \n.
+std::string PrometheusEscapeLabel(const std::string& value);
+
+// Renders a finite double the way Prometheus expects ("+Inf"/"-Inf"/"NaN"
+// for non-finite values, shortest round-trip decimal otherwise).
+std::string PrometheusDouble(double value);
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_PROMETHEUS_H_

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
 
 namespace hef::telemetry {
 
@@ -14,8 +15,21 @@ namespace {
 std::atomic<std::uint32_t> g_next_thread_id{0};
 thread_local std::uint32_t t_thread_id = ~0u;
 thread_local std::uint32_t t_depth = 0;
+thread_local internal::SpanStack t_span_stack;
+
+Counter& SpansDroppedCounter() {
+  static Counter& counter =
+      MetricsRegistry::Get().counter("telemetry.spans_dropped");
+  return counter;
+}
 
 }  // namespace
+
+namespace internal {
+
+SpanStack& CurrentSpanStack() { return t_span_stack; }
+
+}  // namespace internal
 
 SpanTracer& SpanTracer::Get() {
   static SpanTracer* tracer = new SpanTracer();
@@ -30,8 +44,37 @@ std::uint32_t SpanTracer::CurrentThreadId() {
 }
 
 void SpanTracer::Record(SpanEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(std::move(event));
+      return;
+    }
+    ++dropped_;
+  }
+  // Dropping must be observable, not silent: the counter survives Drain().
+  SpansDroppedCounter().Increment();
+}
+
+void SpanTracer::RecordCounter(const char* track, std::uint64_t nanos,
+                               double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  // Counter samples arrive at a bounded rate (the PMU sampler's period),
+  // but share the capacity guard so a runaway producer cannot grow the
+  // buffer without bound either.
+  if (counter_events_.size() < capacity_) {
+    counter_events_.push_back(CounterEvent{track, nanos, value});
+  }
+}
+
+void SpanTracer::SetCapacity(std::size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_events;
+}
+
+std::uint64_t SpanTracer::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 std::vector<SpanEvent> SpanTracer::Drain() {
@@ -47,6 +90,19 @@ std::vector<SpanEvent> SpanTracer::Drain() {
   return out;
 }
 
+std::vector<CounterEvent> SpanTracer::DrainCounters() {
+  std::vector<CounterEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(counter_events_);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CounterEvent& a, const CounterEvent& b) {
+                     return a.nanos < b.nanos;
+                   });
+  return out;
+}
+
 std::size_t SpanTracer::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
@@ -54,9 +110,16 @@ std::size_t SpanTracer::event_count() const {
 
 std::string SpanTracer::ToTraceEventJson(
     const std::vector<SpanEvent>& events) {
+  return ToTraceEventJson(events, {});
+}
+
+std::string SpanTracer::ToTraceEventJson(
+    const std::vector<SpanEvent>& events,
+    const std::vector<CounterEvent>& counters) {
   std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
   for (const SpanEvent& e : events) base = std::min(base, e.start_nanos);
-  if (events.empty()) base = 0;
+  for (const CounterEvent& c : counters) base = std::min(base, c.nanos);
+  if (events.empty() && counters.empty()) base = 0;
 
   JsonWriter w;
   w.BeginObject();
@@ -76,13 +139,25 @@ std::string SpanTracer::ToTraceEventJson(
     w.EndObject();
     w.EndObject();
   }
+  for (const CounterEvent& c : counters) {
+    w.BeginObject();
+    w.Key("name").String(c.track);
+    w.Key("cat").String("pmu");
+    w.Key("ph").String("C");
+    w.Key("ts").Double(static_cast<double>(c.nanos - base) * 1e-3);
+    w.Key("pid").Int(1);
+    w.Key("args").BeginObject();
+    w.Key("value").Double(c.value);
+    w.EndObject();
+    w.EndObject();
+  }
   w.EndArray();
   w.EndObject();
   return w.Take();
 }
 
 Status SpanTracer::WriteTraceFile(const std::string& path) {
-  const std::string json = ToTraceEventJson(Drain());
+  const std::string json = ToTraceEventJson(Drain(), DrainCounters());
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open trace file '" + path + "'");
@@ -95,16 +170,39 @@ Status SpanTracer::WriteTraceFile(const std::string& path) {
   return Status::OK();
 }
 
-void SpanScope::Begin(const char* name) {
-  active_ = true;
+void SpanScope::Begin(const char* name, std::uint32_t mask) {
   name_ = name;
   depth_ = t_depth++;
-  start_ = MonotonicNanos();
+  if ((mask & SpanTracer::kCaptureProfile) != 0) {
+    // Publish the frame before the depth so a signal interrupting this
+    // thread never reads an unwritten slot. Signal fences order the
+    // stores against the handler on the same thread without any hardware
+    // barrier cost.
+    internal::SpanStack& stack = t_span_stack;
+    const int d = stack.depth.load(std::memory_order_relaxed);
+    if (d < internal::SpanStack::kMaxDepth) stack.frames[d] = name;
+    std::atomic_signal_fence(std::memory_order_release);
+    stack.depth.store(d + 1, std::memory_order_relaxed);
+    flags_ |= SpanTracer::kCaptureProfile;
+  }
+  if ((mask & SpanTracer::kCaptureTrace) != 0) {
+    start_ = MonotonicNanos();
+    flags_ |= SpanTracer::kCaptureTrace;
+  }
 }
 
 void SpanScope::End() {
-  const std::uint64_t end = MonotonicNanos();
   --t_depth;
+  if ((flags_ & SpanTracer::kCaptureProfile) != 0) {
+    internal::SpanStack& stack = t_span_stack;
+    const int d = stack.depth.load(std::memory_order_relaxed);
+    if (d > 0) {
+      stack.depth.store(d - 1, std::memory_order_relaxed);
+      std::atomic_signal_fence(std::memory_order_release);
+    }
+  }
+  if ((flags_ & SpanTracer::kCaptureTrace) == 0) return;
+  const std::uint64_t end = MonotonicNanos();
   SpanEvent event;
   event.name = name_;
   event.start_nanos = start_;

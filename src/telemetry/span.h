@@ -7,12 +7,22 @@
 // is recorded into a process-wide buffer that exports to the
 // chrome://tracing / Perfetto trace-event format.
 //
-// Cost model: when tracing is disabled (the default) a scope is one
+// Cost model: when all capture is disabled (the default) a scope is one
 // relaxed atomic load and a predictable branch — cheap enough to leave in
 // engine code permanently. Per-*block* operator timing inside the engine
 // hot loop is NOT implemented with spans (it accumulates into plain
 // arrays, see engine.cc); spans mark phase boundaries: query runs, hash
 // builds, pipeline execution, tuner measurements.
+//
+// Two consumers share the same scopes through one capture mask:
+//   - kCaptureTrace: closed scopes are recorded into the (bounded)
+//     process-wide buffer for trace-event export.
+//   - kCaptureProfile: open scopes are additionally pushed onto a
+//     per-thread stack of static name pointers that the sampling
+//     profiler's signal handler reads (telemetry/profiler.h).
+// The buffer is bounded (SetCapacity); events beyond the cap are dropped
+// and counted in the `telemetry.spans_dropped` metric — a long
+// throughput run degrades observably instead of growing without bound.
 
 #ifndef HEF_TELEMETRY_SPAN_H_
 #define HEF_TELEMETRY_SPAN_H_
@@ -37,28 +47,77 @@ struct SpanEvent {
   std::uint32_t depth = 0;           // nesting depth when opened
 };
 
+// One point on a named counter track (e.g. a PMU timeline sample).
+// Exported as a chrome://tracing "C" event, which Perfetto renders as a
+// value lane alongside the span tracks.
+struct CounterEvent {
+  const char* track = nullptr;       // static string (track name)
+  std::uint64_t nanos = 0;           // CLOCK_MONOTONIC_RAW
+  double value = 0;
+};
+
+namespace internal {
+
+// Per-thread stack of the names of currently-open spans, maintained so an
+// async signal arriving on this thread can attribute the sample to the
+// innermost open span. Names are string literals (stable storage); depth
+// is published with a signal fence after the frame write, so a handler
+// interrupting Push/Pop always sees a consistent prefix.
+struct SpanStack {
+  static constexpr int kMaxDepth = 48;
+  const char* frames[kMaxDepth] = {};
+  std::atomic<int> depth{0};
+};
+
+// The calling thread's stack. The first call materializes the
+// thread-local; the profiler touches it at thread registration so signal
+// handlers never take the lazy-init path.
+SpanStack& CurrentSpanStack();
+
+}  // namespace internal
+
 // Process-wide collector. All methods are thread-safe.
 class SpanTracer {
  public:
+  // Capture-mask bits (see file comment).
+  static constexpr std::uint32_t kCaptureTrace = 1u;
+  static constexpr std::uint32_t kCaptureProfile = 2u;
+
   static SpanTracer& Get();
 
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  void SetEnabled(bool on) {
-    enabled_.store(on, std::memory_order_relaxed);
+  bool enabled() const {
+    return (capture_mask() & kCaptureTrace) != 0;
+  }
+  void SetEnabled(bool on) { SetMaskBit(kCaptureTrace, on); }
+  // Turns the per-thread open-span stacks on/off for the profiler.
+  void SetProfiling(bool on) { SetMaskBit(kCaptureProfile, on); }
+
+  std::uint32_t capture_mask() const {
+    return mask_.load(std::memory_order_relaxed);
   }
 
   void Record(SpanEvent event);
+  void RecordCounter(const char* track, std::uint64_t nanos, double value);
+
+  // Caps the buffered span events (drops beyond it are counted in
+  // `telemetry.spans_dropped`). Applies to future Records only.
+  void SetCapacity(std::size_t max_events);
+  std::uint64_t spans_dropped() const;
 
   // Removes and returns all recorded events, ordered by start time.
   std::vector<SpanEvent> Drain();
+  std::vector<CounterEvent> DrainCounters();
   std::size_t event_count() const;
 
   // Renders events as a chrome://tracing / Perfetto trace-event JSON
-  // document ("X" complete events, microsecond timestamps relative to the
-  // earliest event).
+  // document ("X" complete events plus "C" counter events, microsecond
+  // timestamps relative to the earliest event).
   static std::string ToTraceEventJson(const std::vector<SpanEvent>& events);
+  static std::string ToTraceEventJson(
+      const std::vector<SpanEvent>& events,
+      const std::vector<CounterEvent>& counters);
 
-  // Drains and writes the trace-event file.
+  // Drains spans and counter tracks and writes the trace-event file.
   Status WriteTraceFile(const std::string& path);
 
   // Dense id of the calling thread (assigned on first use).
@@ -67,28 +126,42 @@ class SpanTracer {
  private:
   SpanTracer() = default;
 
-  std::atomic<bool> enabled_{false};
+  void SetMaskBit(std::uint32_t bit, bool on) {
+    if (on) {
+      mask_.fetch_or(bit, std::memory_order_relaxed);
+    } else {
+      mask_.fetch_and(~bit, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<std::uint32_t> mask_{0};
   mutable std::mutex mu_;
   std::vector<SpanEvent> events_;
+  std::vector<CounterEvent> counter_events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;  // ~262k spans
 };
 
-// RAII scope. Inactive (no clock read, no allocation) unless the tracer
+// RAII scope. Inactive (no clock read, no allocation) unless some capture
 // was enabled at construction time.
 class SpanScope {
  public:
   explicit SpanScope(const char* name) {
-    if (HEF_UNLIKELY(SpanTracer::Get().enabled())) Begin(name);
+    const std::uint32_t mask = SpanTracer::Get().capture_mask();
+    if (HEF_UNLIKELY(mask != 0)) Begin(name, mask);
   }
   ~SpanScope() {
-    if (HEF_UNLIKELY(active_)) End();
+    if (HEF_UNLIKELY(flags_ != 0)) End();
   }
   HEF_DISALLOW_COPY_AND_ASSIGN(SpanScope);
 
  private:
-  void Begin(const char* name);
+  void Begin(const char* name, std::uint32_t mask);
   void End();
 
-  bool active_ = false;
+  std::uint8_t flags_ = 0;  // capture bits this scope participates in
   const char* name_ = nullptr;
   std::uint64_t start_ = 0;
   std::uint32_t depth_ = 0;

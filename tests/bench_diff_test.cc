@@ -1,0 +1,193 @@
+// Tests for the hef-bench-v1 diff: JSON parsing, row matching, the
+// median/MAD noise model, and the four verdicts (improved, regressed,
+// within-noise, missing-metric) that drive the CI gate's exit code.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "telemetry/bench_diff.h"
+#include "telemetry/json_value.h"
+
+namespace hef::telemetry {
+namespace {
+
+// ----------------------------------------------------------------- JsonValue
+
+TEST(JsonValueTest, ParsesScalarsContainersAndEscapes) {
+  const auto doc = JsonValue::Parse(
+      "{\"s\":\"a\\\"b\\n\",\"i\":-3,\"d\":2.5e2,\"t\":true,\"f\":false,"
+      "\"n\":null,\"a\":[1,2,[3]],\"o\":{\"k\":\"v\"}}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("s")->string(), "a\"b\n");
+  EXPECT_EQ(doc->NumberOr("i", 0), -3);
+  EXPECT_EQ(doc->NumberOr("d", 0), 250.0);
+  EXPECT_TRUE(doc->Find("t")->bool_value());
+  EXPECT_FALSE(doc->Find("f")->bool_value());
+  EXPECT_TRUE(doc->Find("n")->is_null());
+  ASSERT_EQ(doc->Find("a")->array().size(), 3u);
+  EXPECT_EQ(doc->Find("a")->array()[2].array()[0].number(), 3.0);
+  EXPECT_EQ(doc->Find("o")->StringOr("k", ""), "v");
+  EXPECT_EQ(doc->Find("absent"), nullptr);
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'a':1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+}
+
+// ---------------------------------------------------------------- BenchDiff
+
+// Builds a minimal hef-bench-v1 doc with one TOTAL row plus per-query
+// rows scaled from base latencies.
+std::string MakeReport(double qps, double q1_ms, double q2_ms) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema\":\"hef-bench-v1\",\"bench\":\"ssb_throughput\","
+      "\"config\":{},"
+      "\"results\":["
+      "{\"query\":\"Q1.1\",\"p50_ms\":%f,\"runs\":10},"
+      "{\"query\":\"Q2.1\",\"p50_ms\":%f,\"runs\":10},"
+      "{\"query\":\"TOTAL\",\"qps\":%f}],"
+      "\"sections\":{},\"metrics\":{}}",
+      q1_ms, q2_ms, qps);
+  return buf;
+}
+
+TEST(BenchDiffTest, SelfCompareHasNoRegressions) {
+  const std::string doc = MakeReport(100.0, 4.0, 8.0);
+  const auto diff = DiffBenchReports(doc, doc, BenchDiffOptions());
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_EQ(diff->matched_rows, 3);
+  EXPECT_FALSE(diff->HasRegressions(/*strict=*/true));
+  for (const MetricDiff& m : diff->metrics) {
+    EXPECT_EQ(m.verdict, MetricVerdict::kWithinNoise) << m.metric;
+    EXPECT_EQ(m.median_delta, 0.0);
+  }
+}
+
+TEST(BenchDiffTest, DetectsRegressionsDirectionally) {
+  // Latency up 50% and qps down 40%: both directions must regress.
+  const auto diff =
+      DiffBenchReports(MakeReport(100.0, 4.0, 8.0),
+                       MakeReport(60.0, 6.0, 12.0), BenchDiffOptions());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->HasRegressions(false));
+  for (const MetricDiff& m : diff->metrics) {
+    EXPECT_EQ(m.verdict, MetricVerdict::kRegressed) << m.metric;
+  }
+}
+
+TEST(BenchDiffTest, DetectsImprovementsDirectionally) {
+  // Latency down and qps up: improvements, never a failure.
+  const auto diff =
+      DiffBenchReports(MakeReport(100.0, 4.0, 8.0),
+                       MakeReport(150.0, 2.0, 4.0), BenchDiffOptions());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->HasRegressions(true));
+  for (const MetricDiff& m : diff->metrics) {
+    EXPECT_EQ(m.verdict, MetricVerdict::kImproved) << m.metric;
+  }
+}
+
+TEST(BenchDiffTest, SmallDeltasStayWithinNoise) {
+  const auto diff =
+      DiffBenchReports(MakeReport(100.0, 4.0, 8.0),
+                       MakeReport(99.0, 4.1, 8.1), BenchDiffOptions());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->HasRegressions(true));
+  for (const MetricDiff& m : diff->metrics) {
+    EXPECT_EQ(m.verdict, MetricVerdict::kWithinNoise) << m.metric;
+  }
+}
+
+TEST(BenchDiffTest, MadWidensTheThresholdForNoisyMetrics) {
+  // Per-row deltas +30%, -25%: median +2.5% but MAD ~27.5%, so with
+  // mad_k=1 the band covers the spread and nothing regresses...
+  const std::string base = MakeReport(100.0, 4.0, 8.0);
+  const std::string noisy = MakeReport(100.0, 4.0 * 1.30, 8.0 * 0.75);
+  BenchDiffOptions options;
+  options.mad_k = 1.0;
+  const auto wide = DiffBenchReports(base, noisy, options);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_FALSE(wide->HasRegressions(false));
+  // ...while a uniform +30% shift has MAD 0 and still trips the floor.
+  const std::string uniform = MakeReport(100.0, 4.0 * 1.30, 8.0 * 1.30);
+  const auto tight = DiffBenchReports(base, uniform, options);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_TRUE(tight->HasRegressions(false));
+}
+
+TEST(BenchDiffTest, MissingMetricVerdictAndStrictness) {
+  const std::string base = MakeReport(100.0, 4.0, 8.0);
+  // Candidate lacks the per-query p50_ms column entirely.
+  const std::string no_p50 =
+      "{\"schema\":\"hef-bench-v1\",\"bench\":\"ssb_throughput\","
+      "\"config\":{},"
+      "\"results\":["
+      "{\"query\":\"Q1.1\",\"runs\":10},"
+      "{\"query\":\"Q2.1\",\"runs\":10},"
+      "{\"query\":\"TOTAL\",\"qps\":100.0}],"
+      "\"sections\":{},\"metrics\":{}}";
+  const auto diff = DiffBenchReports(base, no_p50, BenchDiffOptions());
+  ASSERT_TRUE(diff.ok());
+  bool saw_missing = false;
+  for (const MetricDiff& m : diff->metrics) {
+    if (m.metric == "p50_ms") {
+      EXPECT_EQ(m.verdict, MetricVerdict::kMissing);
+      saw_missing = true;
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_FALSE(diff->HasRegressions(/*strict=*/false));
+  EXPECT_TRUE(diff->HasRegressions(/*strict=*/true));
+}
+
+TEST(BenchDiffTest, UnmatchedRowsAreReportedAndStrictFails) {
+  const std::string base = MakeReport(100.0, 4.0, 8.0);
+  const std::string fewer =
+      "{\"schema\":\"hef-bench-v1\",\"bench\":\"ssb_throughput\","
+      "\"config\":{},"
+      "\"results\":[{\"query\":\"TOTAL\",\"qps\":100.0}],"
+      "\"sections\":{},\"metrics\":{}}";
+  const auto diff = DiffBenchReports(base, fewer, BenchDiffOptions());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->matched_rows, 1);
+  EXPECT_EQ(diff->unmatched_baseline_rows.size(), 2u);
+  EXPECT_FALSE(diff->HasRegressions(false));
+  EXPECT_TRUE(diff->HasRegressions(true));
+}
+
+TEST(BenchDiffTest, RejectsNonBenchDocuments) {
+  EXPECT_FALSE(
+      DiffBenchReports("not json", MakeReport(1, 1, 1), BenchDiffOptions())
+          .ok());
+  EXPECT_FALSE(DiffBenchReports(MakeReport(1, 1, 1), "{\"schema\":\"v2\"}",
+                                BenchDiffOptions())
+                   .ok());
+}
+
+TEST(BenchDiffTest, JsonReportIsParseableAndCarriesVerdicts) {
+  const auto diff =
+      DiffBenchReports(MakeReport(100.0, 4.0, 8.0),
+                       MakeReport(60.0, 6.0, 12.0), BenchDiffOptions());
+  ASSERT_TRUE(diff.ok());
+  const auto parsed = JsonValue::Parse(diff->ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->StringOr("schema", ""), "hef-bench-diff-v1");
+  EXPECT_EQ(parsed->NumberOr("matched_rows", 0), 3.0);
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_FALSE(metrics->array().empty());
+  EXPECT_EQ(metrics->array()[0].StringOr("verdict", ""), "regressed");
+  // The text rendering carries the verdict summary too.
+  EXPECT_NE(diff->ToText().find("regressed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hef::telemetry

@@ -1,8 +1,16 @@
-// Tests for the telemetry subsystem: JSON writer, span tracer, metrics
-// registry (including concurrent producers), and the hef-bench-v1 report
-// schema (golden documents).
+// Tests for the telemetry subsystem: JSON writer, span tracer (including
+// the bounded buffer and counter tracks), metrics registry (concurrent
+// producers, log-linear histogram quantiles, Prometheus exposition), the
+// scrape endpoint, and the hef-bench-v1 report schema (golden documents).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +19,8 @@
 #include "telemetry/bench_report.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
+#include "telemetry/metrics_http.h"
+#include "telemetry/prometheus.h"
 #include "telemetry/span.h"
 
 namespace hef::telemetry {
@@ -142,18 +152,57 @@ TEST(SpanTest, EmptyTraceIsValid) {
             "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
 }
 
+TEST(SpanTest, BufferIsBoundedAndDropsAreCounted) {
+  SpanTracer& tracer = SpanTracer::Get();
+  tracer.SetEnabled(true);
+  (void)tracer.Drain();
+  const std::uint64_t dropped0 = tracer.spans_dropped();
+  tracer.SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    HEF_TRACE_SPAN("bounded");
+  }
+  EXPECT_EQ(tracer.event_count(), 4u);
+  EXPECT_EQ(tracer.spans_dropped(), dropped0 + 6);
+  // The drops are observable in the metrics registry too.
+  EXPECT_GE(
+      MetricsRegistry::Get().counter("telemetry.spans_dropped").value(),
+      6u);
+  tracer.SetEnabled(false);
+  tracer.SetCapacity(1u << 18);
+  (void)tracer.Drain();
+}
+
+TEST(SpanTest, CounterEventsExportAsCounterTracks) {
+  SpanTracer& tracer = SpanTracer::Get();
+  (void)tracer.DrainCounters();
+  tracer.RecordCounter("pmu.ipc", 2000, 1.75);
+  tracer.RecordCounter("pmu.ipc", 1000, 1.5);  // out of order on purpose
+  const std::vector<CounterEvent> counters = tracer.DrainCounters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].nanos, 1000u);  // drained sorted by time
+  const std::string json = SpanTracer::ToTraceEventJson({}, counters);
+  EXPECT_NE(json.find("\"name\":\"pmu.ipc\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":1.75"), std::string::npos);
+  EXPECT_EQ(tracer.DrainCounters().size(), 0u);
+}
+
 // ----------------------------------------------------------------- Histogram
 
-TEST(HistogramTest, BucketIndexIsBitWidth) {
-  EXPECT_EQ(Histogram::BucketIndex(0), 0);
-  EXPECT_EQ(Histogram::BucketIndex(1), 1);
-  EXPECT_EQ(Histogram::BucketIndex(2), 2);
-  EXPECT_EQ(Histogram::BucketIndex(3), 2);
-  EXPECT_EQ(Histogram::BucketIndex(4), 3);
-  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
-  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
-  EXPECT_EQ(Histogram::BucketIndex(1ull << 63), 64);
-  EXPECT_EQ(Histogram::BucketIndex(~0ull), 64);
+TEST(HistogramTest, BucketIndexIsLogLinear) {
+  // Values below 2 * kSubBuckets (32) land in exact singleton buckets.
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<int>(v));
+  }
+  // Each higher octave splits into 16 linear sub-buckets.
+  EXPECT_EQ(Histogram::BucketIndex(32), 32);
+  EXPECT_EQ(Histogram::BucketIndex(33), 32);  // [32, 33] share a bucket
+  EXPECT_EQ(Histogram::BucketIndex(34), 33);
+  EXPECT_EQ(Histogram::BucketIndex(63), 47);
+  EXPECT_EQ(Histogram::BucketIndex(64), 48);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 111);  // octave [512,1024)
+  EXPECT_EQ(Histogram::BucketIndex(1024), 112);  // starts a new octave
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), Histogram::kBuckets - 1);
 }
 
 TEST(HistogramTest, BucketBoundsAreTightAndConsistent) {
@@ -161,9 +210,9 @@ TEST(HistogramTest, BucketBoundsAreTightAndConsistent) {
   EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
   EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
   EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
-  EXPECT_EQ(Histogram::BucketLowerBound(5), 16u);
-  EXPECT_EQ(Histogram::BucketUpperBound(5), 31u);
-  EXPECT_EQ(Histogram::BucketUpperBound(64), ~0ull);
+  EXPECT_EQ(Histogram::BucketLowerBound(32), 32u);
+  EXPECT_EQ(Histogram::BucketUpperBound(32), 33u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1), ~0ull);
   for (int i = 0; i < Histogram::kBuckets; ++i) {
     EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
     EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i);
@@ -171,6 +220,16 @@ TEST(HistogramTest, BucketBoundsAreTightAndConsistent) {
       // Buckets tile the domain with no gaps or overlaps.
       EXPECT_EQ(Histogram::BucketLowerBound(i),
                 Histogram::BucketUpperBound(i - 1) + 1);
+    }
+    // Log-linear guarantee: every bucket is at most 6.25% wide relative
+    // to its lower bound.
+    if (i >= 2 * Histogram::kSubBuckets && i < Histogram::kBuckets - 1) {
+      const double lo =
+          static_cast<double>(Histogram::BucketLowerBound(i));
+      const double width = static_cast<double>(
+          Histogram::BucketUpperBound(i) - Histogram::BucketLowerBound(i) +
+          1);
+      EXPECT_LE(width / lo, 1.0 / Histogram::kSubBuckets);
     }
   }
 }
@@ -186,10 +245,10 @@ TEST(HistogramTest, ObserveCountSumMean) {
   EXPECT_EQ(h.Count(), 4u);
   EXPECT_EQ(h.Sum(), 16u);
   EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
-  EXPECT_EQ(h.BucketCount(0), 1u);  // value 0
-  EXPECT_EQ(h.BucketCount(1), 1u);  // value 1
-  EXPECT_EQ(h.BucketCount(3), 1u);  // values 4..7
-  EXPECT_EQ(h.BucketCount(4), 1u);  // values 8..15
+  EXPECT_EQ(h.BucketCount(0), 1u);  // value 0 (exact)
+  EXPECT_EQ(h.BucketCount(1), 1u);  // value 1 (exact)
+  EXPECT_EQ(h.BucketCount(7), 1u);  // value 7 (exact)
+  EXPECT_EQ(h.BucketCount(8), 1u);  // value 8 (exact)
   h.Reset();
   EXPECT_EQ(h.Count(), 0u);
   EXPECT_EQ(h.Sum(), 0u);
@@ -198,11 +257,41 @@ TEST(HistogramTest, ObserveCountSumMean) {
 TEST(HistogramTest, ApproxPercentileReturnsBucketUpperBounds) {
   Histogram h;
   for (int i = 0; i < 90; ++i) h.Observe(1);    // bucket 1, le 1
-  for (int i = 0; i < 10; ++i) h.Observe(100);  // bucket 7, le 127
+  for (int i = 0; i < 10; ++i) h.Observe(100);  // bucket [100, 103]
   EXPECT_EQ(h.ApproxPercentile(0.50), 1u);
   EXPECT_EQ(h.ApproxPercentile(0.90), 1u);
-  EXPECT_EQ(h.ApproxPercentile(0.99), 127u);
-  EXPECT_EQ(h.ApproxPercentile(1.0), 127u);
+  EXPECT_EQ(h.ApproxPercentile(0.99), 103u);
+  EXPECT_EQ(h.ApproxPercentile(1.0), 103u);
+}
+
+TEST(HistogramTest, QuantileIsWithinOneBucketOfExact) {
+  // A deterministic spread over three decades; the quantile estimate must
+  // land inside the bucket holding the exact order statistic, i.e. within
+  // 6.25% of the true value.
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG
+    const std::uint64_t v = 50 + (x >> 33) % 50000;
+    values.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = static_cast<double>(
+        values[static_cast<std::size_t>(q * (values.size() - 1))]);
+    const double estimate = h.Quantile(q);
+    EXPECT_NEAR(estimate, exact, exact / Histogram::kSubBuckets + 1.0)
+        << "q=" << q;
+  }
+  // Degenerate cases.
+  Histogram empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  Histogram one;
+  one.Observe(7);
+  EXPECT_EQ(one.Quantile(0.5), 7.0);
+  EXPECT_EQ(one.Quantile(0.999), 7.0);
 }
 
 // ----------------------------------------------------------- MetricsRegistry
@@ -259,15 +348,110 @@ TEST(MetricsRegistryTest, ToJsonIsSortedAndSchemaStable) {
             "{\"counters\":{\"a\":2,\"z\":1},"
             "\"gauges\":{\"g\":0.5},"
             "\"histograms\":{\"h\":{\"count\":1,\"sum\":3,\"mean\":3,"
-            "\"p50\":3,\"p99\":3,"
-            "\"buckets\":[{\"le\":3,\"count\":1}]}}}");
+            "\"p50\":3,\"p90\":3,\"p99\":3,\"p999\":3,"
+            "\"buckets\":[{\"lower\":3,\"le\":3,\"count\":1}]}}}");
   registry.ResetAll();
   // Names stay registered after a reset; values zero.
   EXPECT_EQ(registry.ToJson(),
             "{\"counters\":{\"a\":0,\"z\":0},"
             "\"gauges\":{\"g\":0},"
             "\"histograms\":{\"h\":{\"count\":0,\"sum\":0,\"mean\":0,"
-            "\"p50\":0,\"p99\":0,\"buckets\":[]}}}");
+            "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,"
+            "\"buckets\":[]}}}");
+}
+
+// ---------------------------------------------------------------- Prometheus
+
+TEST(PrometheusTest, NameSanitization) {
+  EXPECT_EQ(PrometheusName("exec.morsels_dispatched"),
+            "exec_morsels_dispatched");
+  EXPECT_EQ(PrometheusName("hef.query_latency"), "hef_query_latency");
+  EXPECT_EQ(PrometheusName("a-b c#d"), "a_b_c_d");
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusName(""), "_");
+  EXPECT_EQ(PrometheusName("ok:name_1"), "ok:name_1");  // already legal
+}
+
+TEST(PrometheusTest, LabelEscaping) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusTest, DoubleRendering) {
+  EXPECT_EQ(PrometheusDouble(0), "0");
+  EXPECT_EQ(PrometheusDouble(2.5), "2.5");
+  EXPECT_EQ(PrometheusDouble(-1), "-1");
+  EXPECT_EQ(PrometheusDouble(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(PrometheusDouble(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(PrometheusDouble(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+  // Round-trip: the shortest rendering parses back to the same bits.
+  const double awkward = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(PrometheusDouble(awkward)), awkward);
+}
+
+TEST(PrometheusTest, ExpositionRendersCounterGaugeHistogram) {
+  MetricsRegistry registry;
+  registry.counter("exec.tasks").Increment(7);
+  registry.gauge("pool.threads").Set(4);
+  Histogram& h = registry.histogram("rt.latency");
+  h.Observe(1);
+  h.Observe(1);
+  h.Observe(100);  // bucket [100, 103]
+  EXPECT_EQ(registry.ToPrometheusText(),
+            "# TYPE exec_tasks counter\n"
+            "exec_tasks 7\n"
+            "# TYPE pool_threads gauge\n"
+            "pool_threads 4\n"
+            "# TYPE rt_latency histogram\n"
+            "rt_latency_bucket{le=\"1\"} 2\n"
+            "rt_latency_bucket{le=\"103\"} 3\n"
+            "rt_latency_bucket{le=\"+Inf\"} 3\n"
+            "rt_latency_sum 102\n"
+            "rt_latency_count 3\n");
+}
+
+TEST(MetricsHttpServerTest, ServesMetricsAndRejectsOtherPaths) {
+  MetricsRegistry::Get().counter("httptest.hits").Increment(3);
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+  EXPECT_FALSE(server.Start(0).ok());  // double start refused
+
+  auto fetch = [&](const std::string& request) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_GT(write(fd, request.data(), request.size()), 0);
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(fd, buf, sizeof(buf))) > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    close(fd);
+    return response;
+  };
+
+  const std::string ok = fetch("GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("httptest_hits 3"), std::string::npos);
+  EXPECT_NE(fetch("GET /other HTTP/1.1\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(fetch("POST /metrics HTTP/1.1\r\n\r\n").find("405"),
+            std::string::npos);
+  server.Stop();
+  server.Stop();  // idempotent
 }
 
 // --------------------------------------------------------------- BenchReport

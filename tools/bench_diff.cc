@@ -1,0 +1,105 @@
+// bench_diff — noise-aware comparison of two hef-bench-v1 reports.
+//
+//   bench_diff BASELINE.json CANDIDATE.json [--mad_k=3] [--floor=0.05]
+//              [--json=PATH] [--strict]
+//
+// Prints a per-metric verdict table (improved / regressed / within-noise /
+// missing-metric) and exits 0 when no metric regressed beyond its noise
+// band, 1 on regression (or, under --strict, on missing metrics and
+// unmatched baseline rows), 2 on usage or parse errors. Designed as a CI
+// gate: `bench_diff BENCH_BASELINE.json fresh.json` after a perf-smoke
+// run. --json writes the machine-readable hef-bench-diff-v1 document.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/bench_diff.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = std::atof(arg + n + 1);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff BASELINE.json CANDIDATE.json"
+               " [--mad_k=K] [--floor=F] [--json=PATH] [--strict]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  hef::telemetry::BenchDiffOptions options;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    if (std::strcmp(arg, "--strict") == 0) {
+      options.strict = true;
+    } else if (ParseDoubleFlag(arg, "--mad_k", &options.mad_k) ||
+               ParseDoubleFlag(arg, "--floor", &options.noise_floor)) {
+      // parsed in the condition
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return Usage();
+    }
+  }
+  if (positional.size() != 2) return Usage();
+
+  std::string baseline, candidate;
+  if (!ReadFile(positional[0], &baseline)) {
+    std::fprintf(stderr, "cannot read baseline '%s'\n",
+                 positional[0].c_str());
+    return 2;
+  }
+  if (!ReadFile(positional[1], &candidate)) {
+    std::fprintf(stderr, "cannot read candidate '%s'\n",
+                 positional[1].c_str());
+    return 2;
+  }
+
+  hef::Result<hef::telemetry::BenchDiffReport> diff =
+      hef::telemetry::DiffBenchReports(baseline, candidate, options);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 diff.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(diff->ToText().c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 2;
+    }
+    out << diff->ToJson() << "\n";
+  }
+  const bool failed = diff->HasRegressions(options.strict);
+  std::printf("verdict: %s\n", failed ? "REGRESSED" : "OK");
+  return failed ? 1 : 0;
+}

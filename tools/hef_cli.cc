@@ -10,7 +10,13 @@
 // Every subcommand accepts --help. The global --trace=PATH flag (or the
 // HEF_TRACE environment variable) enables span tracing for the whole
 // invocation and writes a chrome://tracing / Perfetto trace-event file
-// on exit; see docs/observability.md.
+// on exit — including PMU counter tracks (IPC, LLC misses, GHz) sampled
+// on a timeline while the command runs. The global --metrics_port=N flag
+// serves the metrics registry at http://127.0.0.1:N/metrics in
+// Prometheus text format for the duration of the command. `hef query
+// --profile=out.folded` additionally runs the sampling profiler and
+// writes collapsed stacks for flamegraph.pl / speedscope; see
+// docs/observability.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,12 +38,15 @@
 #include "engine/engine.h"
 #include "engine/reference.h"
 #include "exec/runtime.h"
+#include "perf/pmu_sampler.h"
 #include "portmodel/port_model.h"
 #include "procinfo/cpu_features.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
+#include "telemetry/metrics_http.h"
+#include "telemetry/profiler.h"
 #include "telemetry/span.h"
 #include "tuner/kernel_tuners.h"
 #include "tuner/tune_trace.h"
@@ -175,6 +184,10 @@ int CmdQuery(int argc, char** argv) {
   flags.AddString("json", "",
                   "write a hef-bench-v1 JSON report (with per-operator "
                   "stats sections when --stats) to this path");
+  flags.AddString("profile", "",
+                  "sample the engine runs with the wall-clock profiler "
+                  "and write collapsed stacks (flamegraph.pl format) to "
+                  "this path");
   if (!flags.Parse(argc, argv).ok() || flags.HelpRequested()) {
     flags.PrintUsage("hef query");
     return flags.HelpRequested() ? 0 : 1;
@@ -238,6 +251,16 @@ int CmdQuery(int argc, char** argv) {
                         OperatorStatsToJson(result.operator_stats));
     }
   };
+  const std::string profile_path = flags.GetString("profile");
+  if (!profile_path.empty()) {
+    // Cover only the engine runs (not data generation) so samples land
+    // inside the engines' spans.
+    const Status ps = telemetry::Profiler::Get().Start();
+    if (!ps.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", ps.ToString().c_str());
+      return 1;
+    }
+  }
   EngineConfig scalar_cfg;
   scalar_cfg.flavor = Flavor::kScalar;
   scalar_cfg.collect_stats = stats;
@@ -262,6 +285,22 @@ int CmdQuery(int argc, char** argv) {
   voila_cfg.threads = threads.value();
   VoilaEngine voila(db, voila_cfg);
   run("voila", voila);
+  if (!profile_path.empty()) {
+    telemetry::Profiler& profiler = telemetry::Profiler::Get();
+    profiler.Stop();
+    const std::vector<telemetry::ProfileSample> samples =
+        profiler.TakeSamples();
+    const Status fs = telemetry::Profiler::WriteFoldedFile(profile_path,
+                                                           samples);
+    if (!fs.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", fs.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nprofile (%s):\n%s", profile_path.c_str(),
+                telemetry::Profiler::SelfTimeTable(
+                    samples, profiler.period_nanos())
+                    .c_str());
+  }
   std::printf("\n%s\n", timings.ToString().c_str());
   if (!stats_text.empty()) {
     std::printf("per-operator statistics:\n%s", stats_text.c_str());
@@ -568,11 +607,17 @@ int Main(int argc, char** argv) {
       env != nullptr && env[0] != '\0') {
     trace_path = env;
   }
+  int metrics_port = -1;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace="));
+      continue;
+    }
+    if (arg.rfind("--metrics_port=", 0) == 0) {
+      metrics_port =
+          std::atoi(arg.c_str() + std::strlen("--metrics_port="));
       continue;
     }
     argv[out++] = argv[i];
@@ -582,7 +627,7 @@ int Main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
       std::strcmp(argv[1], "-h") == 0) {
     std::fprintf(stderr,
-                 "usage: hef [--trace=PATH] "
+                 "usage: hef [--trace=PATH] [--metrics_port=N] "
                  "<info|tune|query|sql|generate|lint> [flags]\n");
     return argc < 2 ? 1 : 0;
   }
@@ -590,8 +635,26 @@ int Main(int argc, char** argv) {
   // Shift argv so subcommand flag parsing starts after the verb.
   argv[1] = argv[0];
 
-  if (!trace_path.empty()) telemetry::SpanTracer::Get().SetEnabled(true);
+  telemetry::MetricsHttpServer metrics_server;
+  if (metrics_port >= 0) {
+    const Status ms = metrics_server.Start(metrics_port);
+    if (!ms.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", ms.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving http://127.0.0.1:%d/metrics\n",
+                 metrics_server.port());
+  }
+  // While tracing, sample the PMU on a timeline so the trace file gains
+  // IPC / LLC-miss / GHz counter lanes under the span tracks.
+  PmuSampler pmu_sampler;
+  if (!trace_path.empty()) {
+    telemetry::SpanTracer::Get().SetEnabled(true);
+    (void)pmu_sampler.Start();
+  }
   const int rc = Dispatch(cmd, argc - 1, argv + 1);
+  pmu_sampler.Stop();
+  metrics_server.Stop();
   if (!trace_path.empty()) {
     const Status st =
         telemetry::SpanTracer::Get().WriteTraceFile(trace_path);
