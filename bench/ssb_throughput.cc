@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -41,6 +42,8 @@
 #include "perf/pmu_sampler.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/diagnostics.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/metrics_http.h"
 #include "telemetry/profiler.h"
@@ -133,7 +136,17 @@ int Main(int argc, char** argv) {
   flags.AddInt64("metrics_port", -1,
                  "serve Prometheus text metrics on "
                  "http://127.0.0.1:PORT/metrics while the bench runs "
-                 "(0 = ephemeral port, -1 = off)");
+                 "(0 = ephemeral port, -1 = off); the same server exposes "
+                 "/healthz /statusz /tracez /flightz");
+  flags.AddBool("stats", false,
+                "collect per-operator stats on every replayed query so "
+                "/tracez completions carry EXPLAIN trees (adds per-op "
+                "timing overhead)");
+  flags.AddString("slow_log", "",
+                  "append slow/failed queries as JSONL to this path");
+  flags.AddDouble("slow_ms", 100.0,
+                  "slow-query threshold in milliseconds for --slow_log; "
+                  "errors are always logged");
   const Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -159,8 +172,19 @@ int Main(int argc, char** argv) {
   }
   HEF_CHECK_MSG(!mix.empty(), "empty query mix");
 
-  // Observability side-channels: a Prometheus scrape endpoint for the
-  // whole run, and span tracing with PMU counter lanes when requested.
+  // Observability side-channels: the debug HTTP server (Prometheus
+  // scrape plus /statusz /tracez /flightz), the crash-time flight dump,
+  // the slow-query JSONL log, and span tracing with PMU counter lanes.
+  const char* flight_dir = std::getenv("HEF_FLIGHT_DIR");
+  telemetry::FlightRecorder::InstallCrashHandler(
+      flight_dir != nullptr ? flight_dir : "");
+  const std::string slow_log = flags.GetString("slow_log");
+  if (!slow_log.empty() &&
+      !telemetry::Diagnostics::Get().SetSlowQueryLog(
+          slow_log, flags.GetDouble("slow_ms"))) {
+    std::fprintf(stderr, "slow_log: cannot open %s\n", slow_log.c_str());
+    return 1;
+  }
   telemetry::MetricsHttpServer metrics_server;
   const int metrics_port = static_cast<int>(flags.GetInt64("metrics_port"));
   if (metrics_port >= 0) {
@@ -169,7 +193,8 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "metrics: %s\n", ms.ToString().c_str());
       return 1;
     }
-    std::printf("serving http://127.0.0.1:%d/metrics\n",
+    std::printf("serving http://127.0.0.1:%d/{metrics,healthz,statusz,"
+                "tracez,flightz}\n",
                 metrics_server.port());
   }
   const std::string trace_path = flags.GetString("trace");
@@ -194,6 +219,7 @@ int Main(int argc, char** argv) {
   if (flavor_name == "voila") {
     VoilaConfig config;
     config.threads = threads.value();
+    config.collect_stats = flags.GetBool("stats");
     voila_engine = std::make_unique<VoilaEngine>(db, config);
   } else {
     // Serving admission: a named flavour the host cannot run is an
@@ -210,6 +236,7 @@ int Main(int argc, char** argv) {
     EngineConfig config;
     config.flavor = flavor.value();
     config.threads = threads.value();
+    config.collect_stats = flags.GetBool("stats");
     hef_engine = std::make_unique<SsbEngine>(db, config);
   }
   auto run = [&](QueryId id) {

@@ -7,6 +7,7 @@
 #include "common/aligned_buffer.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "engine/explain.h"
 #include "engine/primitives.h"
 #include "engine/scan.h"
 #include "engine/star_plan.h"
@@ -18,6 +19,7 @@
 #include "table/bloom_filter.h"
 #include "table/group_agg.h"
 #include "table/probe.h"
+#include "telemetry/diagnostics.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 
@@ -527,6 +529,7 @@ struct SsbEngine::Impl {
     }
 
     const std::size_t blocks_total = (total + block - 1) / block;
+    std::uint64_t morsels = blocks_total;  // serial path: one per block
     const int threads =
         std::min<int>(exec::ResolveThreads(config.threads),
                       static_cast<int>(blocks_total == 0 ? 1 : blocks_total));
@@ -560,7 +563,7 @@ struct SsbEngine::Impl {
       std::vector<std::uint64_t> worker_qualifying(threads, 0);
       std::vector<std::vector<OpAcc>> worker_accs(
           threads, std::vector<OpAcc>(stats ? n_ops : 0));
-      exec::RunMorsels(
+      const exec::MorselRunInfo info = exec::RunMorsels(
           blocks_total, threads,
           [&](int t, exec::MorselScheduler& sched) {
             HEF_TRACE_SPAN("engine.worker");
@@ -589,6 +592,7 @@ struct SsbEngine::Impl {
             }
           },
           ctx);
+      morsels = info.dispatched;
       for (int t = 0; t < threads; ++t) {
         qualifying += worker_qualifying[t];
         for (std::size_t g = 0; g < plan.gid_domain; ++g) {
@@ -605,6 +609,7 @@ struct SsbEngine::Impl {
 
     QueryResult result;
     result.qualifying_rows = qualifying;
+    result.morsels = morsels;
     if (stats) {
       FillOperatorStats(plan, accs, bloom_nanos, total, qualifying,
                         &result);
@@ -701,6 +706,7 @@ struct SsbEngine::Impl {
     // accumulators were merged into a partial result that must not look
     // like a complete one. Report why the scan ended instead.
     HEF_RETURN_NOT_OK(ctx.Check());
+    result.plan_cache_hit = cache_hit;
     if (stats) {
       result.operator_stats.insert(result.operator_stats.begin(),
                                    std::move(build));
@@ -732,9 +738,50 @@ QueryResult SsbEngine::Run(QueryId id) {
 
 Result<QueryResult> SsbEngine::Run(QueryId id,
                                    const exec::QueryContext& ctx) {
-  Result<QueryResult> result = impl_->TryRun(id, ctx);
+  // Every serving Run is traced: adopt the caller's id or mint one, so
+  // logs, flight events, /statusz and error messages all correlate.
+  exec::QueryContext traced = ctx;
+  if (traced.trace_id() == 0) traced.set_trace_id(exec::MintTraceId());
+  const std::string query = QueryName(id);
+  const std::string engine_label = FlavorName(impl_->config.flavor);
+
+  const std::uint64_t t0 = MonotonicNanos();
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    telemetry::ActiveQueryGuard guard(traced.trace_id(), query,
+                                      engine_label,
+                                      traced.deadline_nanos());
+    return impl_->TryRun(id, traced);
+  }();
+  const std::uint64_t wall = MonotonicNanos() - t0;
   exec::RecordQueryOutcome(result.status());
-  return result;
+
+  telemetry::QueryCompletion completion;
+  completion.trace_id = traced.trace_id();
+  completion.query = query;
+  completion.engine = engine_label;
+  completion.wall_nanos = wall;
+  if (result.ok()) {
+    QueryResult& r = result.value();
+    r.trace_id = traced.trace_id();
+    r.wall_nanos = wall;
+    completion.cache_hit = r.plan_cache_hit;
+    completion.morsels = r.morsels;
+    if (!r.operator_stats.empty()) {
+      completion.explain_json = ExplainToJson(
+          MakeExplainMeta(query, engine_label, impl_->config), r);
+    }
+    telemetry::Diagnostics::Get().RecordCompletion(completion);
+    return result;
+  }
+  completion.status_code =
+      static_cast<std::uint16_t>(result.status().code());
+  completion.status_message = result.status().message();
+  telemetry::Diagnostics::Get().RecordCompletion(completion);
+  // Errors carry the trace id so a client-side log line alone is enough
+  // to find the query in /tracez or a flight dump.
+  return Status(result.status().code(),
+                result.status().message() + " [trace=" +
+                    telemetry::FormatTraceId(traced.trace_id()) + "]");
 }
 
 }  // namespace hef

@@ -56,6 +56,13 @@ struct QueryResult {
   // Per-operator breakdown; empty unless EngineConfig::collect_stats.
   std::vector<OperatorStats> operator_stats;
 
+  // --- Diagnostics envelope (does not participate in operator==, which
+  // compares rows only, so bit-exactness tests stay engine-agnostic) ---
+  std::uint64_t trace_id = 0;     // minted in QueryContext; 0 = untraced
+  std::uint64_t wall_nanos = 0;   // end-to-end run wall time
+  std::uint64_t morsels = 0;      // morsels dispatched (blocks when serial)
+  bool plan_cache_hit = false;    // plan came from the engine's plan cache
+
   std::uint64_t TotalValue() const {
     std::uint64_t total = 0;
     for (const GroupRow& r : rows) total += r.value;

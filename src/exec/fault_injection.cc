@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "telemetry/flight_recorder.h"
+
 namespace hef::exec {
 
 std::atomic<int> FaultRegistry::armed_count_{0};
@@ -18,6 +20,9 @@ void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
                 "kError fault armed with an OK status");
   HEF_CHECK_MSG(spec.action != FaultAction::kCancel || spec.token != nullptr,
                 "kCancel fault armed without a token");
+  telemetry::FlightRecorder::Get().Record(
+      telemetry::FlightEventKind::kFaultArmed, point.c_str(),
+      /*trace_id=*/0, static_cast<std::uint64_t>(spec.trigger_hit));
   std::lock_guard<std::mutex> lock(mu_);
   if (points_.find(point) == points_.end()) {
     armed_count_.fetch_add(1, std::memory_order_relaxed);
@@ -53,6 +58,7 @@ Status FaultRegistry::OnPoint(const char* point) {
   int stall_ms = 0;
   Status status;
   CancellationToken* token = nullptr;
+  std::uint64_t hit_number = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = points_.find(point);
@@ -68,7 +74,11 @@ Status FaultRegistry::OnPoint(const char* point) {
     stall_ms = state.spec.stall_ms;
     status = state.spec.status;
     token = state.spec.token;
+    hit_number = state.hits;
   }
+  telemetry::FlightRecorder::Get().Record(
+      telemetry::FlightEventKind::kFaultFired, point, /*trace_id=*/0,
+      hit_number);
   switch (action) {
     case FaultAction::kThrow:
       throw FaultInjectedError(point);

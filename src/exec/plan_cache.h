@@ -26,6 +26,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 namespace hef::exec {
@@ -34,7 +35,8 @@ template <typename Key, typename Entry>
 class PlanCache {
  public:
   explicit PlanCache(const std::string& metric_prefix)
-      : hits_(telemetry::MetricsRegistry::Get().counter(metric_prefix +
+      : prefix_(metric_prefix),
+        hits_(telemetry::MetricsRegistry::Get().counter(metric_prefix +
                                                         ".hit")),
         misses_(telemetry::MetricsRegistry::Get().counter(metric_prefix +
                                                           ".miss")) {}
@@ -60,6 +62,9 @@ class PlanCache {
     auto entry = std::make_unique<Entry>(build());
     const Entry& ref = *entry;
     entries_.emplace(key, std::move(entry));
+    telemetry::FlightRecorder::Get().Record(
+        telemetry::FlightEventKind::kPlanCacheMiss, prefix_.c_str(),
+        /*trace_id=*/0, entries_.size());
     return ref;
   }
 
@@ -87,12 +92,18 @@ class PlanCache {
     auto entry = std::make_unique<Entry>(std::move(built).value());
     const Entry* ref = entry.get();
     entries_.emplace(key, std::move(entry));
+    telemetry::FlightRecorder::Get().Record(
+        telemetry::FlightEventKind::kPlanCacheMiss, prefix_.c_str(),
+        /*trace_id=*/0, entries_.size());
     return ref;
   }
 
   // Drops every entry (references returned earlier become dangling).
   void Invalidate() {
     std::lock_guard<std::mutex> lock(mu_);
+    telemetry::FlightRecorder::Get().Record(
+        telemetry::FlightEventKind::kPlanCacheInvalidate, prefix_.c_str(),
+        /*trace_id=*/0, entries_.size());
     entries_.clear();
   }
 
@@ -103,6 +114,7 @@ class PlanCache {
 
  private:
   mutable std::mutex mu_;
+  const std::string prefix_;
   std::map<Key, std::unique_ptr<Entry>> entries_ HEF_GUARDED_BY(mu_);
   telemetry::Counter& hits_;
   telemetry::Counter& misses_;

@@ -1,8 +1,30 @@
 #include "exec/query_context.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <string>
 
 namespace hef::exec {
+
+std::uint64_t MintTraceId() {
+  // Salt derived once from pid and startup time; the low counter bits keep
+  // ids unique within the process, the salt keeps two processes started in
+  // the same second distinguishable.
+  static const std::uint64_t salt = [] {
+    std::uint64_t s = MonotonicNanos() ^
+                      (static_cast<std::uint64_t>(getpid()) << 32);
+    // SplitMix64 finalizer: spread the salt across all bits.
+    s += 0x9e3779b97f4a7c15ULL;
+    s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    s = (s ^ (s >> 27)) * 0x94d049bb133111ebULL;
+    return s ^ (s >> 31);
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id =
+      salt ^ (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  return id == 0 ? 1 : id;  // 0 is reserved for "untraced"
+}
 
 Status QueryContext::Check() const {
   if (token_ != nullptr && token_->cancelled()) {

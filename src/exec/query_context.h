@@ -75,10 +75,22 @@ class QueryContext {
   // (the caller asked first; the deadline merely passed meanwhile).
   Status Check() const;
 
+  // Per-request trace id, carried into spans, the flight recorder, debug
+  // endpoints and error Status messages. 0 means "not yet minted" — the
+  // engines mint one (MintTraceId) on entry when the caller did not.
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
  private:
   CancellationToken* token_ = nullptr;
   std::uint64_t deadline_nanos_ = 0;
+  std::uint64_t trace_id_ = 0;
 };
+
+// Mints a process-unique, non-zero trace id: a counter mixed with a
+// per-process salt so ids from concurrent processes (bench + serve on one
+// host) do not collide in shared logs.
+std::uint64_t MintTraceId();
 
 }  // namespace hef::exec
 

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
-#include <set>
 #include <utility>
 
 #include "common/text_table.h"
@@ -95,6 +94,10 @@ bool BenchDiffReport::HasRegressions(bool strict) const {
   for (const MetricDiff& m : metrics) {
     if (m.verdict == MetricVerdict::kRegressed) return true;
     if (strict && m.verdict == MetricVerdict::kMissing) return true;
+    // A metric absent from a subset of matched rows is as suspect as a
+    // fully missing one: the candidate stopped reporting something the
+    // baseline had.
+    if (strict && m.missing_rows > 0) return true;
   }
   if (strict && !unmatched_baseline_rows.empty()) return true;
   return false;
@@ -107,11 +110,15 @@ std::string BenchDiffReport::ToText() const {
   for (const MetricDiff& m : metrics) {
     char delta[32];
     std::snprintf(delta, sizeof(delta), "%+.2f%%", 100.0 * m.median_delta);
+    std::string verdict = MetricVerdictName(m.verdict);
+    if (m.missing_rows > 0 && m.verdict != MetricVerdict::kMissing) {
+      verdict += " (missing in " + std::to_string(m.missing_rows) +
+                 " rows)";
+    }
     table.AddRow({m.metric, m.direction > 0 ? "up" : "down",
                   std::to_string(m.rows), delta,
                   TextTable::Num(100.0 * m.mad, 2) + "%",
-                  TextTable::Num(100.0 * m.threshold, 2) + "%",
-                  MetricVerdictName(m.verdict)});
+                  TextTable::Num(100.0 * m.threshold, 2) + "%", verdict});
   }
   int regressed = 0, improved = 0, missing = 0;
   for (const MetricDiff& m : metrics) {
@@ -148,6 +155,7 @@ std::string BenchDiffReport::ToJson() const {
     w.Key("direction").String(m.direction > 0 ? "higher_better"
                                               : "lower_better");
     w.Key("rows").Int(m.rows);
+    w.Key("missing_rows").Int(m.missing_rows);
     w.Key("median_delta").Double(m.median_delta);
     w.Key("mad").Double(m.mad);
     w.Key("threshold").Double(m.threshold);
@@ -192,9 +200,10 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
   }
   std::map<std::string, std::size_t> used;
 
-  // metric -> (signed relative deltas, baseline-missing-in-candidate?).
+  // metric -> signed relative deltas across matched rows, and -> count of
+  // matched rows where the candidate lacked the metric.
   std::map<std::string, std::vector<double>> deltas;
-  std::set<std::string> missing;
+  std::map<std::string, int> missing;
 
   for (const JsonValue& row : baseline->Find("results")->array()) {
     if (!row.is_object()) continue;
@@ -210,7 +219,7 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
       if (!value.is_number() || MetricDirection(name) == 0) continue;
       const JsonValue* counterpart = other.Find(name);
       if (counterpart == nullptr || !counterpart->is_number()) {
-        missing.insert(name);
+        ++missing[name];
         continue;
       }
       const double a = value.number();
@@ -236,6 +245,8 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
     m.metric = name;
     m.direction = MetricDirection(name);
     m.rows = static_cast<int>(values.size());
+    const auto miss_it = missing.find(name);
+    if (miss_it != missing.end()) m.missing_rows = miss_it->second;
     m.median_delta = Median(values);
     std::vector<double> abs_dev;
     abs_dev.reserve(values.size());
@@ -253,11 +264,12 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
     }
     report.metrics.push_back(std::move(m));
   }
-  for (const std::string& name : missing) {
-    if (deltas.count(name) != 0) continue;  // present in some rows
+  for (const auto& [name, count] : missing) {
+    if (deltas.count(name) != 0) continue;  // partially missing: above
     MetricDiff m;
     m.metric = name;
     m.direction = MetricDirection(name);
+    m.missing_rows = count;
     m.verdict = MetricVerdict::kMissing;
     report.metrics.push_back(std::move(m));
   }

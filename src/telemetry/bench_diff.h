@@ -17,7 +17,9 @@
 //
 // Verdicts: improved / regressed / within-noise / missing-metric (present
 // in the baseline row but absent in the candidate). HasRegressions()
-// drives the CLI exit code; missing metrics fail only under strict.
+// drives the CLI exit code; missing metrics — fully missing or missing
+// from a subset of matched rows — and unmatched baseline rows fail only
+// under strict.
 
 #ifndef HEF_TELEMETRY_BENCH_DIFF_H_
 #define HEF_TELEMETRY_BENCH_DIFF_H_
@@ -48,6 +50,11 @@ struct MetricDiff {
   // +1 when larger is better (qps), -1 when smaller is better (latency).
   int direction = -1;
   int rows = 0;               // matched rows contributing deltas
+  // Matched rows where the baseline had this metric but the candidate did
+  // not. A metric can be partially missing (present in some rows) and
+  // still carry a delta verdict from the rows that have it; under strict
+  // any missing row fails the diff.
+  int missing_rows = 0;
   double median_delta = 0;    // signed relative delta, median across rows
   double mad = 0;             // MAD of the relative deltas
   double threshold = 0;       // noise_floor + mad_k * mad

@@ -1,0 +1,231 @@
+#include "telemetry/diagnostics.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/json_writer.h"
+
+namespace hef::telemetry {
+
+namespace {
+
+double NanosToMs(std::uint64_t nanos) {
+  return static_cast<double>(nanos) / 1e6;
+}
+
+}  // namespace
+
+std::string FormatTraceId(std::uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf, 16);
+}
+
+Diagnostics::Diagnostics() : start_nanos_(MonotonicNanos()) {}
+
+Diagnostics& Diagnostics::Get() {
+  static Diagnostics* instance = new Diagnostics();
+  return *instance;
+}
+
+std::uint64_t Diagnostics::BeginQuery(const ActiveQuery& query) {
+  FlightRecorder::Get().Record(FlightEventKind::kQueryStart,
+                               query.query.c_str(), query.trace_id);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t token = ++next_token_;
+  active_.emplace(token, query);
+  return token;
+}
+
+void Diagnostics::EndQuery(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(token);
+}
+
+void Diagnostics::RecordCompletion(const QueryCompletion& completion) {
+  const auto code = static_cast<StatusCode>(completion.status_code);
+  FlightEventKind kind = FlightEventKind::kQueryFinish;
+  if (code == StatusCode::kCancelled) {
+    kind = FlightEventKind::kQueryCancelled;
+  } else if (code == StatusCode::kDeadlineExceeded) {
+    kind = FlightEventKind::kQueryDeadline;
+  }
+  FlightRecorder::Get().Record(kind, completion.query.c_str(),
+                               completion.trace_id, completion.wall_nanos,
+                               completion.morsels, completion.status_code);
+
+  bool auto_dump = false;
+  std::string slow_line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completions_.push_back(completion);
+    while (completions_.size() > kMaxCompletions) completions_.pop_front();
+
+    const bool slow =
+        !slow_log_path_.empty() &&
+        (completion.status_code != 0 ||
+         NanosToMs(completion.wall_nanos) >= slow_threshold_ms_);
+    if (slow) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("nanos").UInt(MonotonicNanos());
+      w.Key("trace").String(FormatTraceId(completion.trace_id));
+      w.Key("query").String(completion.query);
+      w.Key("engine").String(completion.engine);
+      w.Key("wall_ms").Double(NanosToMs(completion.wall_nanos));
+      w.Key("status").String(StatusCodeName(code));
+      if (completion.status_code != 0) {
+        w.Key("message").String(completion.status_message);
+      }
+      w.Key("cache_hit").Bool(completion.cache_hit);
+      w.Key("morsels").UInt(completion.morsels);
+      w.EndObject();
+      slow_line = w.Take();
+      std::ofstream log(slow_log_path_, std::ios::app);
+      if (log) log << slow_line << "\n";
+    }
+
+    if (code == StatusCode::kDeadlineExceeded &&
+        auto_dumps_ < kMaxAutoDumps) {
+      ++auto_dumps_;
+      auto_dump = true;
+    }
+  }
+
+  if (auto_dump) {
+    const char* dir = std::getenv("HEF_FLIGHT_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+      FlightRecorder::Get().Record(FlightEventKind::kFlightDump, "deadline",
+                                   completion.trace_id);
+      const std::string path = std::string(dir) + "/hef_flight_deadline_" +
+                               FormatTraceId(completion.trace_id) + ".json";
+      (void)FlightRecorder::Get().DumpToFile(path);
+    }
+  }
+}
+
+bool Diagnostics::SetSlowQueryLog(const std::string& path,
+                                  double threshold_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path.empty()) {
+    slow_log_path_.clear();
+    return true;
+  }
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) return false;
+  slow_log_path_ = path;
+  slow_threshold_ms_ = threshold_ms;
+  return true;
+}
+
+std::string Diagnostics::StatuszJson() const {
+  const std::uint64_t now = MonotonicNanos();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("hef-statusz-v1");
+  w.Key("build").BeginObject();
+#if defined(__VERSION__)
+  w.Key("compiler").String(__VERSION__);
+#else
+  w.Key("compiler").String("unknown");
+#endif
+  w.Key("cxx_standard").Int(static_cast<std::int64_t>(__cplusplus));
+#if defined(NDEBUG)
+  w.Key("optimized").Bool(true);
+#else
+  w.Key("optimized").Bool(false);
+#endif
+  w.EndObject();
+  w.Key("pid").Int(static_cast<std::int64_t>(getpid()));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  w.Key("uptime_seconds")
+      .Double(static_cast<double>(now - start_nanos_) / 1e9);
+  w.Key("flight_recorded").UInt(FlightRecorder::Get().recorded());
+  w.Key("active").BeginArray();
+  for (const auto& [token, q] : active_) {
+    (void)token;
+    w.BeginObject();
+    w.Key("trace").String(FormatTraceId(q.trace_id));
+    w.Key("query").String(q.query);
+    w.Key("engine").String(q.engine);
+    w.Key("elapsed_ms").Double(NanosToMs(now - q.start_nanos));
+    if (q.deadline_nanos != 0) {
+      const double remaining =
+          q.deadline_nanos > now
+              ? NanosToMs(q.deadline_nanos - now)
+              : -NanosToMs(now - q.deadline_nanos);
+      w.Key("deadline_ms_remaining").Double(remaining);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("recent_completions")
+      .UInt(static_cast<std::uint64_t>(completions_.size()));
+  w.EndObject();
+  return w.Take();
+}
+
+std::string Diagnostics::TracezJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("hef-tracez-v1");
+  w.Key("entries").BeginArray();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = completions_.rbegin(); it != completions_.rend(); ++it) {
+    const QueryCompletion& c = *it;
+    const auto code = static_cast<StatusCode>(c.status_code);
+    w.BeginObject();
+    w.Key("trace").String(FormatTraceId(c.trace_id));
+    w.Key("query").String(c.query);
+    w.Key("engine").String(c.engine);
+    w.Key("wall_ms").Double(NanosToMs(c.wall_nanos));
+    w.Key("status").String(StatusCodeName(code));
+    if (c.status_code != 0) w.Key("message").String(c.status_message);
+    w.Key("cache_hit").Bool(c.cache_hit);
+    w.Key("morsels").UInt(c.morsels);
+    w.Key("error").Bool(c.status_code != 0);
+    if (!c.explain_json.empty()) {
+      w.Key("explain").Raw(c.explain_json);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+void Diagnostics::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.clear();
+  completions_.clear();
+  slow_log_path_.clear();
+  slow_threshold_ms_ = 0;
+  auto_dumps_ = 0;
+}
+
+ActiveQueryGuard::ActiveQueryGuard(std::uint64_t trace_id,
+                                   const std::string& query,
+                                   const std::string& engine,
+                                   std::uint64_t deadline_nanos) {
+  ActiveQuery q;
+  q.trace_id = trace_id;
+  q.query = query;
+  q.engine = engine;
+  q.start_nanos = MonotonicNanos();
+  q.deadline_nanos = deadline_nanos;
+  token_ = Diagnostics::Get().BeginQuery(q);
+}
+
+ActiveQueryGuard::~ActiveQueryGuard() {
+  Diagnostics::Get().EndQuery(token_);
+}
+
+}  // namespace hef::telemetry

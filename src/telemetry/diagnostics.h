@@ -1,0 +1,118 @@
+// Diagnostics — the query-scoped introspection registry behind the live
+// debug endpoints (/statusz, /tracez) and the slow-query log.
+//
+// Every engine Run registers itself here for its lifetime
+// (ActiveQueryGuard), so /statusz can show which queries are in flight
+// with their trace ids, elapsed time and remaining deadline; every
+// completion is recorded with its outcome, timings and (optionally) its
+// explain tree, feeding /tracez with recent slow/errored exemplars and
+// the JSONL slow-query log with threshold-gated lines. Completions also
+// forward to the flight recorder (finish / cancelled / deadline events)
+// and trigger a bounded automatic flight dump on kDeadlineExceeded when
+// HEF_FLIGHT_DIR is set.
+//
+// Lives in telemetry (not exec) so the HTTP server can serve it without a
+// layering inversion; the engines — which see both layers — do the wiring.
+
+#ifndef HEF_TELEMETRY_DIAGNOSTICS_H_
+#define HEF_TELEMETRY_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+
+namespace hef::telemetry {
+
+// Renders a trace id as 16 lowercase hex characters (zero-padded), the
+// canonical form used in logs, endpoints and Status messages.
+std::string FormatTraceId(std::uint64_t trace_id);
+
+// A query currently executing (registered via ActiveQueryGuard).
+struct ActiveQuery {
+  std::uint64_t trace_id = 0;
+  std::string query;            // e.g. "Q2.1"
+  std::string engine;           // e.g. "hybrid", "voila"
+  std::uint64_t start_nanos = 0;
+  std::uint64_t deadline_nanos = 0;  // 0 = none
+};
+
+// A finished query, successful or not.
+struct QueryCompletion {
+  std::uint64_t trace_id = 0;
+  std::string query;
+  std::string engine;
+  std::uint64_t wall_nanos = 0;
+  std::uint16_t status_code = 0;  // StatusCode as integer; 0 = OK
+  std::string status_message;     // empty when OK
+  bool cache_hit = false;
+  std::uint64_t morsels = 0;
+  std::string explain_json;  // pre-rendered hef-explain-v1; may be empty
+};
+
+class Diagnostics {
+ public:
+  // Retained /tracez exemplars (most recent first in TracezJson()).
+  static constexpr std::size_t kMaxCompletions = 64;
+  // Cap on automatic deadline-triggered flight dumps per process.
+  static constexpr std::size_t kMaxAutoDumps = 8;
+
+  static Diagnostics& Get();
+
+  // Registers an in-flight query; returns a token for EndQuery. Prefer
+  // ActiveQueryGuard. Emits a kQueryStart flight event.
+  std::uint64_t BeginQuery(const ActiveQuery& query);
+  void EndQuery(std::uint64_t token);
+
+  // Records an outcome: /tracez ring, slow-query log (when armed and over
+  // threshold), flight finish/cancel/deadline event, and — for
+  // kDeadlineExceeded with HEF_FLIGHT_DIR set — a bounded automatic
+  // flight-recorder dump.
+  void RecordCompletion(const QueryCompletion& completion);
+
+  // Arms the JSONL slow-query log: completions with wall time >=
+  // threshold_ms (or any error) append one line to `path`. An empty path
+  // disarms. Returns false when the file cannot be opened.
+  bool SetSlowQueryLog(const std::string& path, double threshold_ms);
+
+  // {"schema":"hef-statusz-v1",...} — build info, uptime, active queries.
+  std::string StatuszJson() const;
+  // {"schema":"hef-tracez-v1",...} — recent completions, newest first.
+  std::string TracezJson() const;
+
+  // Drops all state (active map, completion ring, slow log). Tests only.
+  void ResetForTest();
+
+ private:
+  Diagnostics();
+  HEF_DISALLOW_COPY_AND_ASSIGN(Diagnostics);
+
+  mutable std::mutex mu_;
+  std::uint64_t start_nanos_ = 0;   // process diagnostics epoch (uptime)
+  std::uint64_t next_token_ = 0;
+  std::map<std::uint64_t, ActiveQuery> active_;
+  std::deque<QueryCompletion> completions_;  // newest at back
+  std::string slow_log_path_;
+  double slow_threshold_ms_ = 0;
+  std::size_t auto_dumps_ = 0;
+};
+
+// RAII registration of an in-flight query for /statusz.
+class ActiveQueryGuard {
+ public:
+  ActiveQueryGuard(std::uint64_t trace_id, const std::string& query,
+                   const std::string& engine, std::uint64_t deadline_nanos);
+  ~ActiveQueryGuard();
+
+  HEF_DISALLOW_COPY_AND_ASSIGN(ActiveQueryGuard);
+
+ private:
+  std::uint64_t token_;
+};
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_DIAGNOSTICS_H_

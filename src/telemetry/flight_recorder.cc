@@ -1,0 +1,274 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define HEF_HAVE_EXECINFO 1
+#endif
+#endif
+
+#include "common/stopwatch.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/span.h"
+
+namespace hef::telemetry {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe formatting helpers for the crash path: no allocation,
+// no stdio, just byte pushes into a caller-owned buffer flushed with
+// write(2).
+
+struct SafeWriter {
+  int fds[2] = {-1, -1};
+  char buf[256];
+  std::size_t len = 0;
+
+  void Flush() {
+    for (const int fd : fds) {
+      if (fd < 0) continue;
+      std::size_t off = 0;
+      while (off < len) {
+        const ssize_t n = write(fd, buf + off, len - off);
+        if (n <= 0) break;
+        off += static_cast<std::size_t>(n);
+      }
+    }
+    len = 0;
+  }
+  void Char(char c) {
+    if (len == sizeof(buf)) Flush();
+    buf[len++] = c;
+  }
+  void Str(const char* s) {
+    for (; s != nullptr && *s != '\0'; ++s) Char(*s);
+  }
+  void Dec(std::uint64_t v) {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) Char(digits[--n]);
+  }
+  void Hex16(std::uint64_t v) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      Char("0123456789abcdef"[(v >> shift) & 0xF]);
+    }
+  }
+};
+
+// Crash-handler state (set once by InstallCrashHandler).
+char g_crash_path[512] = {};
+std::atomic<bool> g_handler_installed{false};
+
+void CrashHandler(int sig) {
+  SafeWriter w;
+  w.fds[0] = STDERR_FILENO;
+  if (g_crash_path[0] != '\0') {
+    w.fds[1] = open(g_crash_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  }
+  w.Str("\n=== hef flight recorder (signal ");
+  w.Dec(static_cast<std::uint64_t>(sig));
+  w.Str(") ===\n");
+
+  // Snapshot() allocates; the crash path walks slots through the
+  // allocation-free CrashDump instead.
+  FlightRecorder::Get().CrashDump(&w);
+
+#ifdef HEF_HAVE_EXECINFO
+  w.Str("--- backtrace ---\n");
+  w.Flush();
+  void* frames[64];
+  const int n = backtrace(frames, 64);
+  for (const int fd : w.fds) {
+    if (fd >= 0) backtrace_symbols_fd(frames, n, fd);
+  }
+#endif
+  w.Str("=== end flight recorder ===\n");
+  w.Flush();
+  if (w.fds[1] >= 0) close(w.fds[1]);
+
+  // Restore the default disposition and re-raise so the process still
+  // dies the way the runner expects (core, nonzero exit).
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kQueryStart: return "query_start";
+    case FlightEventKind::kQueryFinish: return "query_finish";
+    case FlightEventKind::kQueryCancelled: return "query_cancelled";
+    case FlightEventKind::kQueryDeadline: return "query_deadline";
+    case FlightEventKind::kPlanCacheMiss: return "plan_cache_miss";
+    case FlightEventKind::kPlanCacheInvalidate:
+      return "plan_cache_invalidate";
+    case FlightEventKind::kFaultArmed: return "fault_armed";
+    case FlightEventKind::kFaultFired: return "fault_fired";
+    case FlightEventKind::kTunerRetune: return "tuner_retune";
+    case FlightEventKind::kFlightDump: return "flight_dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Get() {
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::Record(FlightEventKind kind, const char* detail,
+                            std::uint64_t trace_id, std::uint64_t arg0,
+                            std::uint64_t arg1, std::uint16_t code) {
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx & (kCapacity - 1)];
+  // Generation protocol: odd while writing, 2*(gen+1) when complete. A
+  // reader that observes an odd stamp, or different stamps before/after
+  // its copy, discards the slot.
+  slot.seq.store(2 * (idx / kCapacity) + 1, std::memory_order_release);
+  FlightEvent& e = slot.event;
+  e.nanos = MonotonicNanos();
+  e.trace_id = trace_id;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.kind = kind;
+  e.code = code;
+  e.thread_id = SpanTracer::CurrentThreadId();
+  if (detail == nullptr) detail = "";
+  std::strncpy(e.detail, detail, FlightEvent::kDetailSize - 1);
+  e.detail[FlightEvent::kDetailSize - 1] = '\0';
+  slot.seq.store(2 * (idx / kCapacity) + 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  // Oldest-first: with N = recorded(), live slots are [N - cap, N).
+  const std::uint64_t n = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = n > kCapacity ? n - kCapacity : 0;
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<std::size_t>(n - begin));
+  for (std::uint64_t idx = begin; idx < n; ++idx) {
+    const Slot& slot = slots_[idx & (kCapacity - 1)];
+    const std::uint64_t want = 2 * (idx / kCapacity) + 2;
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before != want) continue;  // overwritten or still being written
+    FlightEvent copy = slot.event;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    out.push_back(copy);
+  }
+  return out;
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("hef-flight-v1");
+  w.Key("recorded").UInt(recorded());
+  w.Key("capacity").UInt(kCapacity);
+  w.Key("events").BeginArray();
+  for (const FlightEvent& e : events) {
+    char trace[17];
+    std::snprintf(trace, sizeof(trace), "%016llx",
+                  static_cast<unsigned long long>(e.trace_id));
+    w.BeginObject();
+    w.Key("nanos").UInt(e.nanos);
+    w.Key("kind").String(FlightEventKindName(e.kind));
+    w.Key("detail").String(e.detail);
+    if (e.trace_id != 0) w.Key("trace").String(trace);
+    if (e.arg0 != 0) w.Key("arg0").UInt(e.arg0);
+    if (e.arg1 != 0) w.Key("arg1").UInt(e.arg1);
+    if (e.code != 0) w.Key("code").UInt(e.code);
+    w.Key("thread").UInt(e.thread_id);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Status FlightRecorder::DumpToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot write flight dump to " + path);
+  }
+  out << ToJson() << "\n";
+  return out.good() ? Status::OK()
+                    : Status::IoError("short write to " + path);
+}
+
+void FlightRecorder::CrashDump(void* writer) const {
+  auto* w = static_cast<SafeWriter*>(writer);
+  const std::uint64_t n = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = n > kCapacity ? n - kCapacity : 0;
+  w->Str("recorded ");
+  w->Dec(n);
+  w->Str(" events; showing last ");
+  w->Dec(n - begin);
+  w->Str("\n");
+  for (std::uint64_t idx = begin; idx < n; ++idx) {
+    const Slot& slot = slots_[idx & (kCapacity - 1)];
+    if (slot.seq.load(std::memory_order_acquire) !=
+        2 * (idx / kCapacity) + 2) {
+      continue;
+    }
+    const FlightEvent& e = slot.event;
+    w->Dec(e.nanos);
+    w->Char(' ');
+    w->Str(FlightEventKindName(e.kind));
+    w->Char(' ');
+    w->Str(e.detail);
+    if (e.trace_id != 0) {
+      w->Str(" trace=");
+      w->Hex16(e.trace_id);
+    }
+    if (e.code != 0) {
+      w->Str(" code=");
+      w->Dec(e.code);
+    }
+    if (e.arg0 != 0) {
+      w->Str(" arg0=");
+      w->Dec(e.arg0);
+    }
+    w->Char('\n');
+  }
+  w->Flush();
+}
+
+void FlightRecorder::InstallCrashHandler(const std::string& dir) {
+  bool expected = false;
+  if (!g_handler_installed.compare_exchange_strong(expected, true)) return;
+  if (!dir.empty()) {
+    std::snprintf(g_crash_path, sizeof(g_crash_path),
+                  "%s/hef_flight_crash_%d.txt", dir.c_str(),
+                  static_cast<int>(getpid()));
+  }
+#ifdef HEF_HAVE_EXECINFO
+  // First backtrace() call may lazily load libgcc (allocates); do it now
+  // so the signal-context call does not.
+  void* warm[4];
+  (void)backtrace(warm, 4);
+#endif
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &CrashHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (const int sig : {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGILL}) {
+    sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace hef::telemetry

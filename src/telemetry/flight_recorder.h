@@ -1,0 +1,125 @@
+// Flight recorder — an always-on, lock-free, bounded ring of structured
+// runtime events, dumpable after the fact.
+//
+// The paper's hybrid kernels are tuned per machine and per data
+// distribution, so when a production query goes wrong the first question
+// is "what was the process doing just before?" — which queries ran, with
+// which trace ids, whether plans were rebuilt, whether a fault point was
+// armed, whether the tuner repointed a kernel. The recorder keeps the
+// last kCapacity such events in a fixed ring that costs one relaxed
+// fetch_add plus a 64-byte slot write per event (no locks, no
+// allocation), cheap enough to leave on permanently: events are emitted
+// at query / plan / tuner granularity, never per block.
+//
+// Readers (the /flightz endpoint, the crash handler, tests) snapshot the
+// ring without stopping writers: every slot carries a sequence stamp
+// written after the payload, and a slot whose stamp changes mid-copy is
+// discarded. The crash handler path (InstallCrashHandler) renders the
+// ring plus a backtrace with async-signal-safe primitives only — raw
+// write(2) and a hand-rolled formatter — then re-raises so the default
+// disposition (core dump, CI failure) still happens.
+
+#ifndef HEF_TELEMETRY_FLIGHT_RECORDER_H_
+#define HEF_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hef::telemetry {
+
+enum class FlightEventKind : std::uint16_t {
+  kQueryStart = 0,      // detail=query, trace_id set
+  kQueryFinish,         // detail=query, code=StatusCode, arg0=wall nanos
+  kQueryCancelled,      // detail=query, arg0=wall nanos
+  kQueryDeadline,       // detail=query, arg0=wall nanos
+  kPlanCacheMiss,       // detail=cache metric prefix, arg0=entries after
+  kPlanCacheInvalidate, // detail=cache metric prefix, arg0=entries dropped
+  kFaultArmed,          // detail=fault point, arg0=trigger hit
+  kFaultFired,          // detail=fault point, arg0=hit number
+  kTunerRetune,         // detail=operator, arg0/arg1=(v,s,p) packed/seconds ns
+  kFlightDump,          // detail=reason
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+// One recorded event. Trivially copyable — the ring snapshots by memcpy
+// and the crash handler reads slots in a signal context. `detail` is
+// copied (truncated) into the slot so callers may pass transient strings.
+struct FlightEvent {
+  static constexpr std::size_t kDetailSize = 24;
+
+  std::uint64_t nanos = 0;      // CLOCK_MONOTONIC_RAW at record time
+  std::uint64_t trace_id = 0;   // 0 when the event is not query-scoped
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  char detail[kDetailSize] = {};  // NUL-terminated, truncated
+  FlightEventKind kind = FlightEventKind::kQueryStart;
+  std::uint16_t code = 0;       // StatusCode for kQueryFinish
+  std::uint32_t thread_id = 0;  // SpanTracer dense thread id
+};
+
+class FlightRecorder {
+ public:
+  // Ring capacity (power of two). ~4k events x 64 B = 256 KiB resident.
+  static constexpr std::size_t kCapacity = 1u << 12;
+
+  static FlightRecorder& Get();
+
+  // Records one event. Lock-free and allocation-free; safe from any
+  // thread. `detail` may be null (stored as empty).
+  void Record(FlightEventKind kind, const char* detail,
+              std::uint64_t trace_id = 0, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0, std::uint16_t code = 0);
+
+  // Copies out every fully-written event, oldest first. Slots being
+  // overwritten during the copy are skipped (torn reads are detected via
+  // the per-slot sequence stamp, never returned).
+  std::vector<FlightEvent> Snapshot() const;
+
+  // Events ever recorded (monotonic; exceeds kCapacity once wrapped).
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  // {"schema":"hef-flight-v1","recorded":N,"events":[...]} — the /flightz
+  // payload and the on-demand dump format.
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path` (used for deadline auto-dumps and CI
+  // artifacts).
+  Status DumpToFile(const std::string& path) const;
+
+  // Installs a crash handler for SIGSEGV/SIGBUS/SIGABRT/SIGFPE/SIGILL
+  // that writes the flight ring and a backtrace to stderr (and to
+  // "<dir>/hef_flight_crash_<pid>.txt" when `dir` is non-empty) using
+  // async-signal-safe primitives, then re-raises with the default
+  // disposition. Idempotent; not installed in tests by default.
+  static void InstallCrashHandler(const std::string& dir = "");
+
+  // Renders the ring through an async-signal-safe writer (internal; the
+  // crash handler's allocation-free alternative to ToJson()).
+  void CrashDump(void* safe_writer) const;
+
+ private:
+  // One ring slot: `seq` is 0 while never written, odd while a writer is
+  // inside, and 2*(n+1) once generation-n payload is complete.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    FlightEvent event;
+  };
+
+  FlightRecorder() = default;
+  HEF_DISALLOW_COPY_AND_ASSIGN(FlightRecorder);
+
+  std::atomic<std::uint64_t> next_{0};
+  Slot slots_[kCapacity];
+};
+
+}  // namespace hef::telemetry
+
+#endif  // HEF_TELEMETRY_FLIGHT_RECORDER_H_

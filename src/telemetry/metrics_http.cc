@@ -10,6 +10,8 @@
 #include <cstring>
 #include <string>
 
+#include "telemetry/diagnostics.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 namespace hef::telemetry {
@@ -99,33 +101,64 @@ void MetricsHttpServer::AcceptLoop() {
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
     const int conn = accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    // One short read is enough for the request line of a scrape; anything
-    // longer than 4 KiB of headers is not a scraper we serve.
-    char buf[4096];
-    const ssize_t n = read(conn, buf, sizeof(buf) - 1);
-    if (n > 0) {
-      buf[n] = '\0';
-      const std::string request(buf);
-      const bool get = request.rfind("GET ", 0) == 0;
-      const std::string::size_type sp = request.find(' ', 4);
-      const std::string path =
-          get && sp != std::string::npos ? request.substr(4, sp - 4) : "";
-      if (!get) {
-        WriteAll(conn, HttpResponse("HTTP/1.1 405 Method Not Allowed",
-                                    "method not allowed\n", "text/plain"));
-      } else if (path == "/metrics") {
-        WriteAll(conn,
-                 HttpResponse(
-                     "HTTP/1.1 200 OK",
-                     MetricsRegistry::Get().ToPrometheusText(),
-                     "text/plain; version=0.0.4; charset=utf-8"));
-      } else {
-        WriteAll(conn, HttpResponse("HTTP/1.1 404 Not Found",
-                                    "only /metrics is served\n",
-                                    "text/plain"));
-      }
-    }
+    HandleConnection(conn);
     close(conn);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int conn) {
+  // Bound the time a client may take to deliver its request: a stalled
+  // connection gets 408 and is dropped instead of wedging the accept loop.
+  pollfd cfd{conn, POLLIN, 0};
+  int ready;
+  do {
+    ready = poll(&cfd, 1, read_timeout_ms_);
+  } while (ready < 0 && errno == EINTR);
+  if (ready <= 0) {
+    WriteAll(conn, HttpResponse("HTTP/1.1 408 Request Timeout",
+                                "request not received in time\n",
+                                "text/plain"));
+    return;
+  }
+  // One short read is enough for the request line of a scrape; anything
+  // longer than 4 KiB of headers is not a scraper we serve.
+  char buf[4096];
+  const ssize_t n = read(conn, buf, sizeof(buf) - 1);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const std::string request(buf);
+  const bool get = request.rfind("GET ", 0) == 0;
+  const std::string::size_type sp = request.find(' ', 4);
+  const std::string path =
+      get && sp != std::string::npos ? request.substr(4, sp - 4) : "";
+  if (!get) {
+    WriteAll(conn, HttpResponse("HTTP/1.1 405 Method Not Allowed",
+                                "method not allowed\n", "text/plain"));
+  } else if (path == "/metrics") {
+    WriteAll(conn,
+             HttpResponse("HTTP/1.1 200 OK",
+                          MetricsRegistry::Get().ToPrometheusText(),
+                          "text/plain; version=0.0.4; charset=utf-8"));
+  } else if (path == "/healthz") {
+    WriteAll(conn, HttpResponse("HTTP/1.1 200 OK", "ok\n", "text/plain"));
+  } else if (path == "/statusz") {
+    WriteAll(conn, HttpResponse("HTTP/1.1 200 OK",
+                                Diagnostics::Get().StatuszJson() + "\n",
+                                "application/json"));
+  } else if (path == "/tracez") {
+    WriteAll(conn, HttpResponse("HTTP/1.1 200 OK",
+                                Diagnostics::Get().TracezJson() + "\n",
+                                "application/json"));
+  } else if (path == "/flightz") {
+    WriteAll(conn, HttpResponse("HTTP/1.1 200 OK",
+                                FlightRecorder::Get().ToJson() + "\n",
+                                "application/json"));
+  } else {
+    WriteAll(conn,
+             HttpResponse("HTTP/1.1 404 Not Found",
+                          "unknown path; served endpoints: /metrics "
+                          "/healthz /statusz /tracez /flightz\n",
+                          "text/plain"));
   }
 }
 

@@ -1,19 +1,26 @@
-// Minimal blocking HTTP endpoint exposing the metrics registry in
-// Prometheus text format — enough for `curl localhost:PORT/metrics` or a
-// Prometheus scrape job against a long bench run, deliberately nothing
-// more (one accept loop, one request per connection, no keep-alive, no
-// TLS). Binds loopback only: this is an observability side-channel, not
-// a serving surface.
+// Minimal blocking HTTP endpoint exposing the observability surface —
+// enough for `curl localhost:PORT/metrics` or a Prometheus scrape job
+// against a long bench run, deliberately nothing more (one accept loop,
+// one request per connection, no keep-alive, no TLS). Binds loopback
+// only: this is an observability side-channel, not a serving surface.
 //
 //   MetricsHttpServer server;
 //   Status st = server.Start(9464);          // 0 picks an ephemeral port
 //   ... run the workload; curl http://127.0.0.1:<server.port()>/metrics
 //   server.Stop();                           // also runs at destruction
 //
-// GET /metrics returns 200 text/plain (version 0.0.4) from
-// MetricsRegistry::Get().ToPrometheusText(); any other path is 404, any
-// other method 405. The accept loop runs on one background thread and
-// polls with a short timeout so Stop() returns promptly.
+// Routes (GET only; any other method 405, unknown path 404 with a body
+// listing what exists):
+//   /metrics  Prometheus text 0.0.4 from MetricsRegistry
+//   /healthz  200 "ok" liveness probe
+//   /statusz  hef-statusz-v1 JSON: build info, uptime, active queries
+//   /tracez   hef-tracez-v1 JSON: recent completions with explain trees
+//   /flightz  hef-flight-v1 JSON: flight-recorder ring dump
+//
+// The accept loop runs on one background thread and polls with a short
+// timeout so Stop() returns promptly. Each accepted connection gets a
+// bounded read window (read_timeout_ms) — a client that connects and
+// stalls gets 408 and is dropped instead of wedging the loop.
 
 #ifndef HEF_TELEMETRY_METRICS_HTTP_H_
 #define HEF_TELEMETRY_METRICS_HTTP_H_
@@ -44,11 +51,18 @@ class MetricsHttpServer {
   // The bound port (useful with Start(0)); 0 when not running.
   int port() const { return port_; }
 
+  // How long an accepted connection may take to deliver its request
+  // before it is answered 408 and closed. Call before Start. Tests use a
+  // small value to exercise the stalled-client path quickly.
+  void set_read_timeout_ms(int ms) { read_timeout_ms_ = ms; }
+
  private:
   void AcceptLoop();
+  void HandleConnection(int conn);
 
   int listen_fd_ = -1;
   int port_ = 0;
+  int read_timeout_ms_ = 2000;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "procinfo/cpu_features.h"
+#include "telemetry/flight_recorder.h"
 
 namespace hef {
 
@@ -94,6 +95,18 @@ Result<TuningCache::Entry> TuningCache::Get(const std::string& op) const {
 
 void TuningCache::Put(const std::string& op, const HybridConfig& config,
                       double seconds) {
+  // arg0 packs the tuned point (v,s,p in 16-bit lanes), arg1 its cost in
+  // nanoseconds — enough to reconstruct "the tuner repointed gather to
+  // v1 s2 p3" from a flight dump alone.
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(static_cast<std::uint16_t>(config.v))
+       << 32) |
+      (static_cast<std::uint64_t>(static_cast<std::uint16_t>(config.s))
+       << 16) |
+      static_cast<std::uint64_t>(static_cast<std::uint16_t>(config.p));
+  telemetry::FlightRecorder::Get().Record(
+      telemetry::FlightEventKind::kTunerRetune, op.c_str(), /*trace_id=*/0,
+      packed, static_cast<std::uint64_t>(seconds * 1e9));
   entries_[op] = Entry{config, seconds};
 }
 

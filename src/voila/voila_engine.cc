@@ -14,7 +14,9 @@
 #include "exec/plan_cache.h"
 #include "exec/runtime.h"
 #include "exec/task_pool.h"
+#include "engine/explain.h"
 #include "table/linear_hash_table.h"
+#include "telemetry/diagnostics.h"
 #include "telemetry/span.h"
 
 namespace hef {
@@ -313,6 +315,7 @@ struct VoilaEngine::Impl {
     std::vector<StageAcc> accs(stats ? n_stages : 0);
 
     const std::size_t blocks_total = (total + vec - 1) / vec;
+    std::uint64_t morsels = blocks_total;  // serial path: one per vector
     const int threads =
         std::min<int>(exec::ResolveThreads(config.threads),
                       static_cast<int>(blocks_total == 0 ? 1 : blocks_total));
@@ -331,7 +334,7 @@ struct VoilaEngine::Impl {
       std::vector<std::uint64_t> worker_qualifying(threads, 0);
       std::vector<std::vector<StageAcc>> worker_accs(
           threads, std::vector<StageAcc>(stats ? n_stages : 0));
-      exec::RunMorsels(
+      const exec::MorselRunInfo info = exec::RunMorsels(
           blocks_total, threads,
           [&](int t, exec::MorselScheduler& sched) {
             HEF_TRACE_SPAN("voila.worker");
@@ -346,6 +349,7 @@ struct VoilaEngine::Impl {
             }
           },
           ctx);
+      morsels = info.dispatched;
       for (int t = 0; t < threads; ++t) {
         qualifying += worker_qualifying[t];
         for (std::size_t g = 0; g < plan.gid_domain; ++g) {
@@ -362,6 +366,7 @@ struct VoilaEngine::Impl {
 
     QueryResult result;
     result.qualifying_rows = qualifying;
+    result.morsels = morsels;
     if (stats) {
       const ssb::LineorderFact& lo = db.lineorder;
       auto to_stats = [](const std::string& name, const StageAcc& a) {
@@ -411,12 +416,13 @@ struct VoilaEngine::Impl {
       build.name = "build";
       t0 = MonotonicNanos();
     }
+    bool cache_hit = false;
     const BoundPlan* bound = nullptr;
     BoundPlan fresh;
     if (config.plan_cache) {
       Result<const BoundPlan*> cached = plan_cache.TryGetOrBuild(
-          id,
-          [&]() -> Result<BoundPlan> { return TryBuildPlan(id, ctx); });
+          id, [&]() -> Result<BoundPlan> { return TryBuildPlan(id, ctx); },
+          &cache_hit);
       HEF_RETURN_NOT_OK(cached.status());
       bound = cached.value();
     } else {
@@ -447,6 +453,7 @@ struct VoilaEngine::Impl {
     }
     // A stop mid-scan leaves a partial result; report the reason instead.
     HEF_RETURN_NOT_OK(ctx.Check());
+    result.plan_cache_hit = cache_hit;
     if (stats) {
       result.operator_stats.insert(result.operator_stats.begin(),
                                    std::move(build));
@@ -475,9 +482,50 @@ QueryResult VoilaEngine::Run(QueryId id) {
 
 Result<QueryResult> VoilaEngine::Run(QueryId id,
                                      const exec::QueryContext& ctx) {
-  Result<QueryResult> result = impl_->TryRun(id, ctx);
+  // Same diagnostics envelope as SsbEngine::Run: adopt or mint a trace
+  // id, register with /statusz for the run's lifetime, record the
+  // completion, and stamp errors with the trace id.
+  exec::QueryContext traced = ctx;
+  if (traced.trace_id() == 0) traced.set_trace_id(exec::MintTraceId());
+  const std::string query = QueryName(id);
+
+  const std::uint64_t t0 = MonotonicNanos();
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    telemetry::ActiveQueryGuard guard(traced.trace_id(), query, "voila",
+                                      traced.deadline_nanos());
+    return impl_->TryRun(id, traced);
+  }();
+  const std::uint64_t wall = MonotonicNanos() - t0;
   exec::RecordQueryOutcome(result.status());
-  return result;
+
+  telemetry::QueryCompletion completion;
+  completion.trace_id = traced.trace_id();
+  completion.query = query;
+  completion.engine = "voila";
+  completion.wall_nanos = wall;
+  if (result.ok()) {
+    QueryResult& r = result.value();
+    r.trace_id = traced.trace_id();
+    r.wall_nanos = wall;
+    completion.cache_hit = r.plan_cache_hit;
+    completion.morsels = r.morsels;
+    if (!r.operator_stats.empty()) {
+      ExplainMeta meta;
+      meta.query = query;
+      meta.engine = "voila";
+      meta.flavor = "voila";
+      completion.explain_json = ExplainToJson(meta, r);
+    }
+    telemetry::Diagnostics::Get().RecordCompletion(completion);
+    return result;
+  }
+  completion.status_code =
+      static_cast<std::uint16_t>(result.status().code());
+  completion.status_message = result.status().message();
+  telemetry::Diagnostics::Get().RecordCompletion(completion);
+  return Status(result.status().code(),
+                result.status().message() + " [trace=" +
+                    telemetry::FormatTraceId(traced.trace_id()) + "]");
 }
 
 }  // namespace hef

@@ -148,6 +148,44 @@ TEST(BenchDiffTest, MissingMetricVerdictAndStrictness) {
   EXPECT_TRUE(diff->HasRegressions(/*strict=*/true));
 }
 
+TEST(BenchDiffTest, PartiallyMissingMetricFailsOnlyUnderStrict) {
+  const std::string base = MakeReport(100.0, 4.0, 8.0);
+  // Q1.1 still reports p50_ms (unchanged), Q2.1 silently dropped it — the
+  // shape of a harness change that stops emitting a column for one row.
+  const std::string partial =
+      "{\"schema\":\"hef-bench-v1\",\"bench\":\"ssb_throughput\","
+      "\"config\":{},"
+      "\"results\":["
+      "{\"query\":\"Q1.1\",\"p50_ms\":4.0,\"runs\":10},"
+      "{\"query\":\"Q2.1\",\"runs\":10},"
+      "{\"query\":\"TOTAL\",\"qps\":100.0}],"
+      "\"sections\":{},\"metrics\":{}}";
+  const auto diff = DiffBenchReports(base, partial, BenchDiffOptions());
+  ASSERT_TRUE(diff.ok());
+  const MetricDiff* p50 = nullptr;
+  for (const MetricDiff& m : diff->metrics) {
+    if (m.metric == "p50_ms") p50 = &m;
+  }
+  ASSERT_NE(p50, nullptr);
+  // The surviving row still earns a delta verdict; the gap is counted.
+  EXPECT_EQ(p50->rows, 1);
+  EXPECT_EQ(p50->missing_rows, 1);
+  EXPECT_EQ(p50->verdict, MetricVerdict::kWithinNoise);
+  EXPECT_FALSE(diff->HasRegressions(/*strict=*/false));
+  EXPECT_TRUE(diff->HasRegressions(/*strict=*/true));
+  // Both renderings surface the gap.
+  EXPECT_NE(diff->ToText().find("missing in 1 rows"), std::string::npos);
+  const auto parsed = JsonValue::Parse(diff->ToJson());
+  ASSERT_TRUE(parsed.ok());
+  bool saw = false;
+  for (const JsonValue& m : parsed->Find("metrics")->array()) {
+    if (m.StringOr("metric", "") != "p50_ms") continue;
+    saw = true;
+    EXPECT_EQ(m.NumberOr("missing_rows", -1), 1.0);
+  }
+  EXPECT_TRUE(saw);
+}
+
 TEST(BenchDiffTest, UnmatchedRowsAreReportedAndStrictFails) {
   const std::string base = MakeReport(100.0, 4.0, 8.0);
   const std::string fewer =

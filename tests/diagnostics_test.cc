@@ -1,0 +1,417 @@
+// Tests for the query diagnostics layer: the flight-recorder ring
+// (record/snapshot/wrap-around, hef-flight-v1 JSON, file dumps), the
+// Diagnostics registry (/statusz active queries, /tracez completions,
+// the JSONL slow-query log), trace-id formatting, and the debug HTTP
+// endpoints including the 404 catalogue, 405, and the stalled-client
+// read timeout.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "telemetry/diagnostics.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/json_value.h"
+#include "telemetry/metrics_http.h"
+
+namespace hef::telemetry {
+namespace {
+
+// The recorder is a process-wide singleton with no reset (it is the
+// point: always on). Tests therefore tag their events with distinctive
+// detail strings and search the snapshot rather than assuming an empty
+// ring.
+std::vector<FlightEvent> EventsWithDetail(const std::string& detail) {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& e : FlightRecorder::Get().Snapshot()) {
+    if (detail == e.detail) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(FlightRecorderTest, RecordedEventsComeBackInOrder) {
+  auto& rec = FlightRecorder::Get();
+  const std::uint64_t before = rec.recorded();
+  rec.Record(FlightEventKind::kFaultArmed, "frt.order", 0x1234, 7);
+  rec.Record(FlightEventKind::kFaultFired, "frt.order", 0x1234, 8, 9, 3);
+  EXPECT_EQ(rec.recorded(), before + 2);
+
+  const auto events = EventsWithDetail("frt.order");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kFaultArmed);
+  EXPECT_EQ(events[0].trace_id, 0x1234u);
+  EXPECT_EQ(events[0].arg0, 7u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kFaultFired);
+  EXPECT_EQ(events[1].arg0, 8u);
+  EXPECT_EQ(events[1].arg1, 9u);
+  EXPECT_EQ(events[1].code, 3u);
+  EXPECT_LE(events[0].nanos, events[1].nanos);
+}
+
+TEST(FlightRecorderTest, DetailIsTruncatedNotOverrun) {
+  const std::string longest(200, 'x');
+  FlightRecorder::Get().Record(FlightEventKind::kFlightDump,
+                               longest.c_str());
+  bool found = false;
+  for (const FlightEvent& e : FlightRecorder::Get().Snapshot()) {
+    if (e.kind != FlightEventKind::kFlightDump) continue;
+    const std::string detail = e.detail;
+    if (detail.find('x') != 0) continue;
+    found = true;
+    EXPECT_EQ(detail, std::string(FlightEvent::kDetailSize - 1, 'x'));
+  }
+  EXPECT_TRUE(found);
+  // Null detail is stored as empty, not a crash.
+  FlightRecorder::Get().Record(FlightEventKind::kFlightDump, nullptr);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheNewestEvents) {
+  auto& rec = FlightRecorder::Get();
+  for (std::size_t i = 0; i < FlightRecorder::kCapacity + 64; ++i) {
+    rec.Record(FlightEventKind::kTunerRetune, "frt.wrap", 0, i);
+  }
+  const auto snapshot = rec.Snapshot();
+  EXPECT_LE(snapshot.size(), FlightRecorder::kCapacity);
+  // The final event survived the wrap; everything retained is ordered.
+  const auto wraps = EventsWithDetail("frt.wrap");
+  ASSERT_FALSE(wraps.empty());
+  EXPECT_EQ(wraps.back().arg0, FlightRecorder::kCapacity + 63);
+  for (std::size_t i = 1; i < wraps.size(); ++i) {
+    EXPECT_EQ(wraps[i].arg0, wraps[i - 1].arg0 + 1);
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearReaders) {
+  auto& rec = FlightRecorder::Get();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < 5000; ++i) {
+        rec.Record(FlightEventKind::kPlanCacheMiss, "frt.race",
+                   static_cast<std::uint64_t>(t), 0xABCDEF,
+                   0xABCDEF, 11);
+      }
+    });
+  }
+  // A racing reader: every event it sees must be fully written, never a
+  // half-copied slot (args always the sentinel pair, code always 11).
+  for (int pass = 0; pass < 20; ++pass) {
+    for (const FlightEvent& e : EventsWithDetail("frt.race")) {
+      EXPECT_EQ(e.arg0, 0xABCDEFu);
+      EXPECT_EQ(e.arg1, 0xABCDEFu);
+      EXPECT_EQ(e.code, 11u);
+    }
+  }
+  for (auto& w : writers) w.join();
+}
+
+TEST(FlightRecorderTest, ToJsonParsesAndDumpsToFile) {
+  auto& rec = FlightRecorder::Get();
+  rec.Record(FlightEventKind::kQueryDeadline, "frt.json", 0xBEEF, 42);
+  const auto doc = JsonValue::Parse(rec.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().StringOr("schema", ""), "hef-flight-v1");
+  EXPECT_EQ(doc.value().NumberOr("capacity", 0), FlightRecorder::kCapacity);
+  EXPECT_GE(doc.value().NumberOr("recorded", 0), 1.0);
+  const JsonValue* events = doc.value().Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool found = false;
+  for (const JsonValue& e : events->array()) {
+    if (e.StringOr("detail", "") != "frt.json") continue;
+    found = true;
+    EXPECT_EQ(e.StringOr("kind", ""), "query_deadline");
+    EXPECT_EQ(e.StringOr("trace", ""), "000000000000beef");
+    EXPECT_EQ(e.NumberOr("arg0", 0), 42.0);
+  }
+  EXPECT_TRUE(found);
+
+  const std::string path = ::testing::TempDir() + "/hef_flight_dump.json";
+  ASSERT_TRUE(rec.DumpToFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto redoc = JsonValue::Parse(buf.str());
+  ASSERT_TRUE(redoc.ok()) << redoc.status().ToString();
+  EXPECT_EQ(redoc.value().StringOr("schema", ""), "hef-flight-v1");
+  std::remove(path.c_str());
+  EXPECT_FALSE(rec.DumpToFile("/nonexistent/dir/flight.json").ok());
+}
+
+TEST(FlightEventKindTest, EveryKindHasAStableName) {
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kQueryStart),
+               "query_start");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kQueryFinish),
+               "query_finish");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kQueryCancelled),
+               "query_cancelled");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kQueryDeadline),
+               "query_deadline");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kPlanCacheMiss),
+               "plan_cache_miss");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kPlanCacheInvalidate),
+               "plan_cache_invalidate");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kFaultArmed),
+               "fault_armed");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kFaultFired),
+               "fault_fired");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kTunerRetune),
+               "tuner_retune");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kFlightDump),
+               "flight_dump");
+}
+
+// ------------------------------------------------------------- trace ids
+
+TEST(TraceIdTest, FormatsAsSixteenLowercaseHexDigits) {
+  EXPECT_EQ(FormatTraceId(0), "0000000000000000");
+  EXPECT_EQ(FormatTraceId(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(FormatTraceId(0xFFFFFFFFFFFFFFFFull), "ffffffffffffffff");
+}
+
+// ----------------------------------------------------------- Diagnostics
+
+class DiagnosticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Diagnostics::Get().ResetForTest(); }
+  void TearDown() override { Diagnostics::Get().ResetForTest(); }
+};
+
+TEST_F(DiagnosticsTest, ActiveQueriesAppearInStatuszWhileGuardLives) {
+  auto parse_statusz = [] {
+    const auto doc = JsonValue::Parse(Diagnostics::Get().StatuszJson());
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    return doc.value();
+  };
+  {
+    ActiveQueryGuard guard(0xAB, "Q4.2", "hybrid", /*deadline_nanos=*/0);
+    const JsonValue doc = parse_statusz();
+    EXPECT_EQ(doc.StringOr("schema", ""), "hef-statusz-v1");
+    EXPECT_GT(doc.NumberOr("pid", 0), 0.0);
+    EXPECT_GE(doc.NumberOr("uptime_seconds", -1), 0.0);
+    const JsonValue* active = doc.Find("active");
+    ASSERT_NE(active, nullptr);
+    ASSERT_EQ(active->array().size(), 1u);
+    const JsonValue& q = active->array()[0];
+    EXPECT_EQ(q.StringOr("trace", ""), "00000000000000ab");
+    EXPECT_EQ(q.StringOr("query", ""), "Q4.2");
+    EXPECT_EQ(q.StringOr("engine", ""), "hybrid");
+    EXPECT_GE(q.NumberOr("elapsed_ms", -1), 0.0);
+    EXPECT_EQ(q.Find("deadline_ms_remaining"), nullptr);  // no deadline
+  }
+  const JsonValue* active = parse_statusz().Find("active");
+  ASSERT_NE(active, nullptr);
+  EXPECT_TRUE(active->array().empty());  // guard gone
+}
+
+TEST_F(DiagnosticsTest, CompletionsFeedTracezNewestFirst) {
+  for (int i = 0; i < 3; ++i) {
+    QueryCompletion c;
+    c.trace_id = static_cast<std::uint64_t>(i + 1);
+    c.query = "Q1." + std::to_string(i + 1);
+    c.engine = "simd";
+    c.wall_nanos = 1'500'000;  // 1.5 ms
+    c.cache_hit = (i == 2);
+    c.morsels = 15;
+    if (i == 1) {
+      c.status_code = 7;  // kCancelled
+      c.status_message = "cancelled by test";
+    }
+    if (i == 2) c.explain_json = "{\"schema\":\"hef-explain-v1\"}";
+    Diagnostics::Get().RecordCompletion(c);
+  }
+  const auto doc = JsonValue::Parse(Diagnostics::Get().TracezJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().StringOr("schema", ""), "hef-tracez-v1");
+  const JsonValue* entries = doc.value().Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array().size(), 3u);
+  // Newest first: Q1.3, Q1.2, Q1.1.
+  EXPECT_EQ(entries->array()[0].StringOr("query", ""), "Q1.3");
+  EXPECT_EQ(entries->array()[2].StringOr("query", ""), "Q1.1");
+  const JsonValue& ok = entries->array()[0];
+  EXPECT_EQ(ok.StringOr("status", ""), "OK");
+  EXPECT_NEAR(ok.NumberOr("wall_ms", 0), 1.5, 1e-9);
+  const JsonValue* hit = ok.Find("cache_hit");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->bool_value());
+  const JsonValue* error = ok.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_FALSE(error->bool_value());
+  // The pre-rendered explain document is spliced in as JSON, not quoted.
+  const JsonValue* explain = ok.Find("explain");
+  ASSERT_NE(explain, nullptr);
+  ASSERT_TRUE(explain->is_object());
+  EXPECT_EQ(explain->StringOr("schema", ""), "hef-explain-v1");
+  const JsonValue& cancelled = entries->array()[1];
+  EXPECT_EQ(cancelled.StringOr("status", ""), "Cancelled");
+  EXPECT_EQ(cancelled.StringOr("message", ""), "cancelled by test");
+  const JsonValue* err2 = cancelled.Find("error");
+  ASSERT_NE(err2, nullptr);
+  EXPECT_TRUE(err2->bool_value());
+}
+
+TEST_F(DiagnosticsTest, CompletionRingIsBounded) {
+  for (std::size_t i = 0; i < Diagnostics::kMaxCompletions + 10; ++i) {
+    QueryCompletion c;
+    c.trace_id = i + 1;
+    c.query = "Q1.1";
+    c.engine = "scalar";
+    Diagnostics::Get().RecordCompletion(c);
+  }
+  const auto doc = JsonValue::Parse(Diagnostics::Get().TracezJson());
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* entries = doc.value().Find("entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->array().size(), Diagnostics::kMaxCompletions);
+  // Newest first: the highest trace id leads.
+  EXPECT_EQ(entries->array()[0].StringOr("trace", ""),
+            FormatTraceId(Diagnostics::kMaxCompletions + 10));
+}
+
+TEST_F(DiagnosticsTest, SlowQueryLogWritesThresholdedJsonl) {
+  const std::string path = ::testing::TempDir() + "/hef_slow_query.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(Diagnostics::Get().SetSlowQueryLog(path, /*threshold_ms=*/10));
+  EXPECT_FALSE(
+      Diagnostics::Get().SetSlowQueryLog("/nonexistent/dir/slow.jsonl", 1));
+  ASSERT_TRUE(Diagnostics::Get().SetSlowQueryLog(path, 10));  // re-arm
+
+  QueryCompletion fast;
+  fast.trace_id = 1;
+  fast.query = "Q1.1";
+  fast.engine = "hybrid";
+  fast.wall_nanos = 1'000'000;  // 1 ms — under threshold, not logged
+  Diagnostics::Get().RecordCompletion(fast);
+
+  QueryCompletion slow = fast;
+  slow.trace_id = 2;
+  slow.wall_nanos = 25'000'000;  // 25 ms — logged
+  slow.morsels = 15;
+  Diagnostics::Get().RecordCompletion(slow);
+
+  QueryCompletion failed = fast;
+  failed.trace_id = 3;
+  failed.status_code = 6;  // kInternal: errors always log, even if fast
+  failed.status_message = "injected";
+  Diagnostics::Get().RecordCompletion(failed);
+
+  Diagnostics::Get().SetSlowQueryLog("", 0);  // disarm
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  const auto slow_doc = JsonValue::Parse(lines[0]);
+  ASSERT_TRUE(slow_doc.ok()) << slow_doc.status().ToString();
+  EXPECT_EQ(slow_doc.value().StringOr("trace", ""), FormatTraceId(2));
+  EXPECT_EQ(slow_doc.value().StringOr("query", ""), "Q1.1");
+  EXPECT_NEAR(slow_doc.value().NumberOr("wall_ms", 0), 25.0, 1e-9);
+  EXPECT_EQ(slow_doc.value().NumberOr("morsels", 0), 15.0);
+  EXPECT_EQ(slow_doc.value().StringOr("status", ""), "OK");
+  const auto err_doc = JsonValue::Parse(lines[1]);
+  ASSERT_TRUE(err_doc.ok()) << err_doc.status().ToString();
+  EXPECT_EQ(err_doc.value().StringOr("trace", ""), FormatTraceId(3));
+  EXPECT_EQ(err_doc.value().StringOr("message", ""), "injected");
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------- debug HTTP endpoints
+
+std::string Fetch(int port, const std::string& request,
+                  bool send_request = true) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  if (send_request) {
+    EXPECT_GT(write(fd, request.data(), request.size()), 0);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+// Strips the HTTP header block so the payload can be JSON-parsed.
+std::string Body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST_F(DiagnosticsTest, DebugEndpointsServeDiagnostics) {
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  ActiveQueryGuard guard(0x77, "Q3.1", "voila", 0);
+
+  const std::string health = Fetch(server.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(Body(health), "ok\n");
+
+  const std::string statusz = Fetch(server.port(), "GET /statusz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(statusz.find("application/json"), std::string::npos);
+  const auto status_doc = JsonValue::Parse(Body(statusz));
+  ASSERT_TRUE(status_doc.ok()) << status_doc.status().ToString();
+  EXPECT_EQ(status_doc.value().StringOr("schema", ""), "hef-statusz-v1");
+  const JsonValue* active = status_doc.value().Find("active");
+  ASSERT_NE(active, nullptr);
+  ASSERT_EQ(active->array().size(), 1u);
+  EXPECT_EQ(active->array()[0].StringOr("query", ""), "Q3.1");
+
+  const auto tracez_doc =
+      JsonValue::Parse(Body(Fetch(server.port(), "GET /tracez HTTP/1.1\r\n\r\n")));
+  ASSERT_TRUE(tracez_doc.ok()) << tracez_doc.status().ToString();
+  EXPECT_EQ(tracez_doc.value().StringOr("schema", ""), "hef-tracez-v1");
+
+  const auto flightz_doc =
+      JsonValue::Parse(Body(Fetch(server.port(), "GET /flightz HTTP/1.1\r\n\r\n")));
+  ASSERT_TRUE(flightz_doc.ok()) << flightz_doc.status().ToString();
+  EXPECT_EQ(flightz_doc.value().StringOr("schema", ""), "hef-flight-v1");
+
+  // 404 names every served endpoint so a misspelled path self-documents.
+  const std::string missing = Fetch(server.port(), "GET /status HTTP/1.1\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  for (const char* endpoint :
+       {"/metrics", "/healthz", "/statusz", "/tracez", "/flightz"}) {
+    EXPECT_NE(Body(missing).find(endpoint), std::string::npos) << endpoint;
+  }
+  EXPECT_NE(Fetch(server.port(), "PUT /healthz HTTP/1.1\r\n\r\n").find("405"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST_F(DiagnosticsTest, StalledClientGetsRequestTimeout) {
+  MetricsHttpServer server;
+  server.set_read_timeout_ms(100);
+  ASSERT_TRUE(server.Start(0).ok());
+  // Connect but never send a request: the server must answer 408 and
+  // close rather than wedging its accept loop on the silent client.
+  const std::string response =
+      Fetch(server.port(), "", /*send_request=*/false);
+  EXPECT_NE(response.find("408"), std::string::npos);
+  // The server survives: a well-behaved request still succeeds after.
+  EXPECT_NE(Fetch(server.port(), "GET /healthz HTTP/1.1\r\n\r\n").find("200"),
+            std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace hef::telemetry

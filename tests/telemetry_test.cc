@@ -17,6 +17,7 @@
 
 #include "gtest/gtest.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/json_value.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/metrics_http.h"
@@ -48,6 +49,61 @@ TEST(JsonWriterTest, ObjectWithMixedValues) {
 TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te\x01"),
             "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+// Round-trip through this repo's own parser: whatever JsonWriter emits,
+// JsonValue::Parse must read back byte-identical. Every document the
+// debug endpoints serve rests on this property.
+
+TEST(JsonRoundTripTest, AllControlCharactersSurvive) {
+  std::string raw;
+  for (int c = 0x00; c <= 0x1F; ++c) raw.push_back(static_cast<char>(c));
+  raw += "\"\\";  // the two mandatory non-control escapes
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String(raw);
+  w.EndObject();
+  const auto doc = JsonValue::Parse(w.Take());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* s = doc.value().Find("s");
+  ASSERT_NE(s, nullptr);
+  ASSERT_TRUE(s->is_string());
+  EXPECT_EQ(s->string(), raw);  // includes the embedded NUL at index 0
+  EXPECT_EQ(s->string().size(), raw.size());
+}
+
+TEST(JsonRoundTripTest, Utf8MultibytePassesThroughUnescaped) {
+  // 2-, 3-, and 4-byte UTF-8 sequences: é, €, and a surrogate-pair
+  // emoji. The writer passes bytes >= 0x20 through raw, so the encoded
+  // form contains the original bytes, and the parser keeps them.
+  const std::string raw = "h\xc3\xa9llo \xe2\x82\xac \xf0\x9f\x8e\x89";
+  const std::string encoded = JsonWriter::Escape(raw);
+  EXPECT_EQ(encoded, raw);  // nothing to escape
+  JsonWriter w;
+  w.BeginArray();
+  w.String(raw);
+  w.EndArray();
+  const auto doc = JsonValue::Parse(w.Take());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc.value().array().size(), 1u);
+  EXPECT_EQ(doc.value().array()[0].string(), raw);
+}
+
+TEST(JsonRoundTripTest, ParserDecodesUnicodeEscapesToUtf8) {
+  // \u escapes for BMP code points decode to UTF-8 bytes: A (1 byte),
+  // é (2 bytes), € (3 bytes). Upper- and lower-case hex both accepted.
+  const auto doc = JsonValue::Parse("\"\\u0041\\u00e9\\u20AC\"");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().string(), "A\xc3\xa9\xe2\x82\xac");
+  // Escaped control characters round back to the raw bytes.
+  const auto ctl = JsonValue::Parse("\"\\u0000\\u001f\\b\\f\\n\\r\\t\"");
+  ASSERT_TRUE(ctl.ok()) << ctl.status().ToString();
+  const std::string expect{"\x00\x1f\b\f\n\r\t", 7};
+  EXPECT_EQ(ctl.value().string(), expect);
+  // Malformed escapes are rejected, not silently dropped.
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12g4\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\q\"").ok());
 }
 
 TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {

@@ -36,6 +36,7 @@
 #include "common/stopwatch.h"
 #include "common/text_table.h"
 #include "engine/engine.h"
+#include "engine/explain.h"
 #include "engine/reference.h"
 #include "exec/runtime.h"
 #include "perf/pmu_sampler.h"
@@ -43,6 +44,7 @@
 #include "procinfo/cpu_features.h"
 #include "ssb/database.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/metrics_http.h"
@@ -188,6 +190,13 @@ int CmdQuery(int argc, char** argv) {
                   "sample the engine runs with the wall-clock profiler "
                   "and write collapsed stacks (flamegraph.pl format) to "
                   "this path");
+  flags.AddBool("explain", false,
+                "print an EXPLAIN ANALYZE plan tree per engine (operator, "
+                "flavor, tuned point, rows, timings); implies stats "
+                "collection");
+  flags.AddString("explain_json", "",
+                  "write the hybrid engine's hef-explain-v1 JSON document "
+                  "to this path (- for stdout); implies stats collection");
   if (!flags.Parse(argc, argv).ok() || flags.HelpRequested()) {
     flags.PrintUsage("hef query");
     return flags.HelpRequested() ? 0 : 1;
@@ -202,7 +211,12 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", threads.status().ToString().c_str());
     return 1;
   }
-  const bool stats = flags.GetBool("stats");
+  const bool explain = flags.GetBool("explain");
+  const std::string explain_json_path = flags.GetString("explain_json");
+  // Explain renders from operator stats, so either explain form turns
+  // stats collection on; --stats alone also prints the raw tables.
+  const bool stats =
+      flags.GetBool("stats") || explain || !explain_json_path.empty();
   const std::string json_path = flags.GetString("json");
 
   std::printf("%s\n\n", QuerySql(query.value()));
@@ -232,7 +246,9 @@ int CmdQuery(int argc, char** argv) {
   timings.AddRow({"engine", "time (ms)", "rows"});
   QueryResult result;
   std::string stats_text;  // per-engine operator tables, printed at the end
-  auto run = [&](const char* name, auto&& engine) {
+  std::string explain_text;  // per-engine explain trees (--explain)
+  std::string hybrid_explain_json;  // hef-explain-v1 (--explain_json)
+  auto run = [&](const char* name, auto&& engine, ExplainMeta meta) {
     Stopwatch sw;
     result = engine.Run(query.value());
     const double ms = sw.ElapsedMillis();
@@ -245,10 +261,16 @@ int CmdQuery(int argc, char** argv) {
         .Set("rows", static_cast<std::uint64_t>(result.rows.size()))
         .Set("qualifying_rows", result.qualifying_rows);
     if (!result.operator_stats.empty()) {
-      stats_text += std::string("-- ") + name + "\n" +
-                    result.StatsToString() + "\n";
+      if (flags.GetBool("stats")) {
+        stats_text += std::string("-- ") + name + "\n" +
+                      result.StatsToString() + "\n";
+      }
       report.AddSection(std::string(name) + "_operator_stats",
                         OperatorStatsToJson(result.operator_stats));
+      if (explain) explain_text += ExplainToText(meta, result) + "\n";
+      if (std::string(name) == "hybrid" && !explain_json_path.empty()) {
+        hybrid_explain_json = ExplainToJson(meta, result);
+      }
     }
   };
   const std::string profile_path = flags.GetString("profile");
@@ -267,24 +289,31 @@ int CmdQuery(int argc, char** argv) {
   scalar_cfg.collect_pmu = stats;
   scalar_cfg.threads = threads.value();
   SsbEngine scalar_engine(db, scalar_cfg);
-  run("scalar", scalar_engine);
+  run("scalar", scalar_engine,
+      MakeExplainMeta(QueryName(query.value()), "scalar", scalar_cfg));
   EngineConfig simd_cfg;
   simd_cfg.flavor = Flavor::kSimd;
   simd_cfg.collect_stats = stats;
   simd_cfg.collect_pmu = stats;
   simd_cfg.threads = threads.value();
   SsbEngine simd_engine(db, simd_cfg);
-  run("simd", simd_engine);
+  run("simd", simd_engine,
+      MakeExplainMeta(QueryName(query.value()), "simd", simd_cfg));
   hybrid_cfg.collect_stats = stats;
   hybrid_cfg.collect_pmu = stats;
   hybrid_cfg.threads = threads.value();
   SsbEngine hybrid_engine(db, hybrid_cfg);
-  run("hybrid", hybrid_engine);
+  run("hybrid", hybrid_engine,
+      MakeExplainMeta(QueryName(query.value()), "hybrid", hybrid_cfg));
   VoilaConfig voila_cfg;
   voila_cfg.collect_stats = stats;
   voila_cfg.threads = threads.value();
   VoilaEngine voila(db, voila_cfg);
-  run("voila", voila);
+  ExplainMeta voila_meta;
+  voila_meta.query = QueryName(query.value());
+  voila_meta.engine = "voila";
+  voila_meta.flavor = "voila";
+  run("voila", voila, voila_meta);
   if (!profile_path.empty()) {
     telemetry::Profiler& profiler = telemetry::Profiler::Get();
     profiler.Stop();
@@ -304,6 +333,28 @@ int CmdQuery(int argc, char** argv) {
   std::printf("\n%s\n", timings.ToString().c_str());
   if (!stats_text.empty()) {
     std::printf("per-operator statistics:\n%s", stats_text.c_str());
+  }
+  if (!explain_text.empty()) {
+    std::printf("explain:\n%s", explain_text.c_str());
+  }
+  if (!explain_json_path.empty()) {
+    if (hybrid_explain_json.empty()) {
+      std::fprintf(stderr, "explain_json: no hybrid stats collected\n");
+      return 1;
+    }
+    if (explain_json_path == "-") {
+      std::printf("%s\n", hybrid_explain_json.c_str());
+    } else {
+      std::ofstream out(explain_json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     explain_json_path.c_str());
+        return 1;
+      }
+      out << hybrid_explain_json << "\n";
+      std::printf("wrote explain JSON to %s\n",
+                  explain_json_path.c_str());
+    }
   }
 
   const bool correct = result == RunReferenceQuery(db, query.value());
@@ -599,6 +650,13 @@ int Dispatch(const std::string& cmd, int argc, char** argv) {
 }
 
 int Main(int argc, char** argv) {
+  // Crash diagnostics from the very start: ring + backtrace to stderr,
+  // and to $HEF_FLIGHT_DIR when set (CI uploads those as artifacts).
+  {
+    const char* flight_dir = std::getenv("HEF_FLIGHT_DIR");
+    telemetry::FlightRecorder::InstallCrashHandler(
+        flight_dir == nullptr ? "" : flight_dir);
+  }
   // The global --trace flag may appear anywhere on the command line; strip
   // it before subcommand flag parsing. HEF_TRACE=<path> is the env-var
   // equivalent (the flag wins when both are given).
