@@ -7,6 +7,8 @@
 //   ssb_throughput --sf=1 --duration=10 --cold_plans     # rebuild per run
 //   ssb_throughput --flavor=voila --threads=4 --json=out.json
 //   ssb_throughput --deadline_ms=5 --max_retries=2       # serving limits
+//   ssb_throughput --encoding=auto --pruning             # chunked storage
+//   ssb_throughput --encoding=auto --drop_flat           # compressed RSS
 //
 // --cold_plans invalidates the plan cache before every query, reproducing
 // the pre-runtime behaviour (every Run rebuilds dimension hash tables and
@@ -40,7 +42,9 @@
 #include "engine/reference.h"
 #include "exec/runtime.h"
 #include "perf/pmu_sampler.h"
+#include "ssb/chunked_fact.h"
 #include "ssb/database.h"
+#include "storage/encoding.h"
 #include "telemetry/bench_report.h"
 #include "telemetry/diagnostics.h"
 #include "telemetry/flight_recorder.h"
@@ -122,6 +126,18 @@ int Main(int argc, char** argv) {
   flags.AddBool("cold_plans", false,
                 "invalidate the plan cache before every query (the "
                 "pre-runtime rebuild-per-Run baseline)");
+  flags.AddString("encoding", "flat",
+                  "fact-table storage: flat (plain arrays, the default) "
+                  "or a chunked-shadow policy — auto | plain | dict | "
+                  "for; any chunked policy scans through per-block "
+                  "decode");
+  flags.AddBool("pruning", false,
+                "zone-map / histogram chunk pruning before morsel "
+                "dispatch (requires a chunked --encoding)");
+  flags.AddBool("drop_flat", false,
+                "free the flat fact columns after verification so the "
+                "resident fact footprint is the encoded one (requires a "
+                "chunked --encoding)");
   flags.AddBool("verify", true,
                 "cross-check one pass of the mix against the reference");
   flags.AddString("json", "",
@@ -172,6 +188,28 @@ int Main(int argc, char** argv) {
   }
   HEF_CHECK_MSG(!mix.empty(), "empty query mix");
 
+  const std::string encoding = flags.GetString("encoding");
+  const bool chunked = encoding != "flat";
+  const bool pruning = flags.GetBool("pruning");
+  const bool drop_flat = flags.GetBool("drop_flat");
+  storage::EncodingPolicy policy = storage::EncodingPolicy::kAuto;
+  if (chunked &&
+      !storage::EncodingPolicyByName(encoding.c_str(), &policy)) {
+    std::fprintf(stderr,
+                 "--encoding=%s: want flat | auto | plain | dict | for\n",
+                 encoding.c_str());
+    return 1;
+  }
+  if ((pruning || drop_flat) && !chunked) {
+    std::fprintf(stderr,
+                 "--pruning / --drop_flat require a chunked --encoding\n");
+    return 1;
+  }
+  if (chunked && flags.GetString("flavor") == "voila") {
+    std::fprintf(stderr, "--encoding: the voila flavor scans flat only\n");
+    return 1;
+  }
+
   // Observability side-channels: the debug HTTP server (Prometheus
   // scrape plus /statusz /tracez /flightz), the crash-time flight dump,
   // the slow-query JSONL log, and span tracing with PMU counter lanes.
@@ -210,7 +248,24 @@ int Main(int argc, char** argv) {
               flags.GetString("threads").c_str(),
               cold_plans ? "cold" : "warm");
   std::printf("scale factor %.2f — generating data...\n", sf);
-  const ssb::SsbDatabase db = ssb::SsbDatabase::Generate(sf);
+  ssb::SsbDatabase db = ssb::SsbDatabase::Generate(sf);
+  double compression = 0.0;
+  if (chunked) {
+    ssb::ChunkedFactOptions chunk_options;
+    chunk_options.policy = policy;
+    Stopwatch encode_sw;
+    ssb::EnsureChunked(db, chunk_options);
+    const std::size_t encoded = db.chunked->EncodedBytes();
+    const std::size_t plain = db.chunked->PlainBytes();
+    compression = static_cast<double>(plain) / static_cast<double>(encoded);
+    std::printf("encoding %s: %zu chunks x %zu rows, %.1f MiB -> %.1f MiB "
+                "(%.2fx) in %.0f ms, pruning %s\n",
+                encoding.c_str(), db.chunked->num_chunks(),
+                db.chunked->chunk_rows(),
+                static_cast<double>(plain) / (1 << 20),
+                static_cast<double>(encoded) / (1 << 20), compression,
+                encode_sw.ElapsedMillis(), pruning ? "on" : "off");
+  }
 
   // One engine, queried repeatedly — the serving shape. The voila flavor
   // exercises the interpreter comparator on the same runtime.
@@ -237,6 +292,8 @@ int Main(int argc, char** argv) {
     config.flavor = flavor.value();
     config.threads = threads.value();
     config.collect_stats = flags.GetBool("stats");
+    config.chunked_scan = chunked;
+    config.scan_pruning = pruning;
     hef_engine = std::make_unique<SsbEngine>(db, config);
   }
   auto run = [&](QueryId id) {
@@ -261,6 +318,14 @@ int Main(int argc, char** argv) {
                     QueryName(id));
     }
     if (cold_plans) invalidate();
+  }
+  if (drop_flat) {
+    // Verification (reference engine) is done with the flat columns; from
+    // here on every fact access decodes from the chunked shadow, so the
+    // replay runs against the compressed footprint.
+    ssb::DropFlatFact(db);
+    std::printf("dropped flat fact columns; resident database %.1f MiB\n",
+                static_cast<double>(db.TotalBytes()) / (1 << 20));
   }
   for (int w = 0; w < warmup; ++w) {
     for (const QueryId id : mix) {
@@ -302,6 +367,11 @@ int Main(int argc, char** argv) {
   telemetry::Histogram& latency_hist =
       registry.histogram("hef.query_latency");
   std::vector<std::uint64_t> per_query_timeouts(mix.size(), 0);
+  // Chunk-pruning effectiveness, captured from each query's first
+  // successful result (the pruning pass runs at plan build, so the
+  // scanned/total split is stable across replays).
+  std::vector<std::uint64_t> per_query_chunks_scanned(mix.size(), 0);
+  std::vector<std::uint64_t> per_query_chunks_total(mix.size(), 0);
   std::uint64_t n_ok = 0;
   std::uint64_t n_cancelled = 0, n_deadline = 0, n_failed = 0,
                 n_retries = 0;
@@ -325,6 +395,8 @@ int Main(int argc, char** argv) {
         const std::uint64_t micros = (MonotonicNanos() - q0) / 1000;
         per_query_hist[qi]->Observe(micros);
         latency_hist.Observe(micros);
+        per_query_chunks_scanned[qi] = result.value().chunks_scanned;
+        per_query_chunks_total[qi] = result.value().chunks_total;
         ++n_ok;
         break;
       }
@@ -384,10 +456,20 @@ int Main(int argc, char** argv) {
   report.SetConfig("cold_plans", cold_plans);
   report.SetConfig("deadline_ms", deadline_ms);
   report.SetConfig("max_retries", static_cast<std::int64_t>(max_retries));
+  report.SetConfig("encoding", encoding);
+  report.SetConfig("pruning", pruning);
+  if (chunked) {
+    report.SetConfig("compression_ratio", compression);
+    report.SetConfig("drop_flat", drop_flat);
+  }
 
   TextTable table;
-  table.AddRow(
-      {"query", "runs", "timeouts", "mean (ms)", "p50 (ms)", "p99 (ms)"});
+  {
+    std::vector<std::string> header = {"query",     "runs",     "timeouts",
+                                       "mean (ms)", "p50 (ms)", "p99 (ms)"};
+    if (chunked) header.push_back("chunks");
+    table.AddRow(header);
+  }
   for (std::size_t q = 0; q < mix.size(); ++q) {
     const telemetry::Histogram& hist = *per_query_hist[q];
     const std::uint64_t runs = hist.Count();
@@ -395,20 +477,37 @@ int Main(int argc, char** argv) {
     const double mean = HistMeanMs(hist);
     const double qp50 = HistQuantileMs(hist, 0.50);
     const double qp99 = HistQuantileMs(hist, 0.99);
-    table.AddRow({QueryName(mix[q]), std::to_string(runs),
-                  std::to_string(per_query_timeouts[q]),
-                  TextTable::Num(mean, 2), TextTable::Num(qp50, 2),
-                  TextTable::Num(qp99, 2)});
-    report.AddResult()
-        .Set("query", QueryName(mix[q]))
+    std::vector<std::string> row = {QueryName(mix[q]), std::to_string(runs),
+                                    std::to_string(per_query_timeouts[q]),
+                                    TextTable::Num(mean, 2),
+                                    TextTable::Num(qp50, 2),
+                                    TextTable::Num(qp99, 2)};
+    if (chunked) {
+      row.push_back(std::to_string(per_query_chunks_scanned[q]) + "/" +
+                    std::to_string(per_query_chunks_total[q]));
+    }
+    table.AddRow(row);
+    // The encoding/pruning cells make the row identity variant-aware, so
+    // a merged multi-variant report diffs cleanly against a merged
+    // baseline (and bench_diff --ignore can match across variants).
+    auto& result_row = report.AddResult();
+    result_row.Set("query", QueryName(mix[q]))
+        .Set("encoding", encoding)
+        .Set("pruning", pruning ? "on" : "off")
         .Set("runs", runs)
         .Set("timeouts", per_query_timeouts[q])
         .Set("mean_ms", mean)
         .Set("p50_ms", qp50)
         .Set("p99_ms", qp99);
+    if (chunked) {
+      result_row.Set("chunks_scanned", per_query_chunks_scanned[q])
+          .Set("chunks_total", per_query_chunks_total[q]);
+    }
   }
   report.AddResult()
       .Set("query", "TOTAL")
+      .Set("encoding", encoding)
+      .Set("pruning", pruning ? "on" : "off")
       .Set("runs", n_ok)
       .Set("qps", qps)
       .Set("p50_ms", p50)
@@ -440,6 +539,21 @@ int Main(int argc, char** argv) {
               "threads\n",
               static_cast<unsigned long long>(morsels),
               static_cast<unsigned long long>(steals), pool_threads);
+  if (chunked) {
+    std::uint64_t scanned = 0, total = 0;
+    for (std::size_t q = 0; q < mix.size(); ++q) {
+      scanned += per_query_chunks_scanned[q];
+      total += per_query_chunks_total[q];
+    }
+    std::printf("storage: %s encoding %.2fx, pruning %s — %llu/%llu "
+                "chunks scanned per mix pass (%.0f%% pruned)\n",
+                encoding.c_str(), compression, pruning ? "on" : "off",
+                static_cast<unsigned long long>(scanned),
+                static_cast<unsigned long long>(total),
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(total - scanned) /
+                                 static_cast<double>(total));
+  }
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {

@@ -64,6 +64,14 @@ DescriptionTable DescriptionTable::Builtin() {
           {1, true, "{dst} = {a} << {imm};",
            "{dst} = _mm256_slli_epi64({a}, {imm});",
            "{dst} = _mm512_slli_epi64({a}, {imm});"});
+  t.AddOp("hi_srlv_epi64",
+          {2, false, "{dst} = {a} >> {b};",
+           "{dst} = _mm256_srlv_epi64({a}, {b});",
+           "{dst} = _mm512_srlv_epi64({a}, {b});"});
+  t.AddOp("hi_sllv_epi64",
+          {2, false, "{dst} = {a} << {b};",
+           "{dst} = _mm256_sllv_epi64({a}, {b});",
+           "{dst} = _mm512_sllv_epi64({a}, {b});"});
   t.AddOp("hi_load_epi64",
           {1, false, "{dst} = *({a});",
            "{dst} = _mm256_loadu_si256((const __m256i*)({a}));",

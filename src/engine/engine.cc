@@ -16,6 +16,8 @@
 #include "exec/runtime.h"
 #include "exec/task_pool.h"
 #include "perf/perf_counters.h"
+#include "ssb/chunked_fact.h"
+#include "storage/decode.h"
 #include "table/bloom_filter.h"
 #include "table/group_agg.h"
 #include "table/probe.h"
@@ -42,6 +44,12 @@ struct SsbEngine::Impl {
     AlignedBuffer<std::uint64_t> rows, keys, vals_a, vals_b, pos, scratch,
         bloom_out, bitmap_a, bitmap_b;
     std::array<AlignedBuffer<std::uint64_t>, 4> payloads;
+    // Chunked scan: one decoded-block buffer per distinct plan column
+    // (at most 4 joins + 2 values, or 3 filters + 2 values) plus the
+    // decode kernels' iota/staging scratch. Allocated lazily on the
+    // first chunked ExecuteRange, so flat-scan engines pay nothing.
+    std::array<AlignedBuffer<std::uint64_t>, 8> decoded;
+    storage::DecodeScratch decode_scratch;
 
     explicit Buffers(std::size_t block) {
       rows.Allocate(block, 64);
@@ -93,6 +101,10 @@ struct SsbEngine::Impl {
     BoundPlan bound;
     std::vector<std::unique_ptr<BloomFilter>> blooms;
     std::uint64_t bloom_nanos = 0;
+    // Chunk-pruning verdicts (empty unless chunked_scan && scan_pruning).
+    // Shares the plan's lifetime: chunk statistics and predicate ranges
+    // are both fixed per query, so cache hits skip the pass too.
+    ChunkPruning pruning;
   };
 
   // Built plans keyed by query, reused across Run() calls while
@@ -107,6 +119,15 @@ struct SsbEngine::Impl {
                   config.block_size);
     HEF_CHECK_MSG(config.threads >= 0 && config.threads <= 256,
                   "thread count %d out of range", config.threads);
+    if (config.chunked_scan && db.chunked != nullptr) {
+      auto& registry = telemetry::MetricsRegistry::Get();
+      registry.gauge("storage.encoded_bytes")
+          .Set(static_cast<double>(db.chunked->EncodedBytes()));
+      registry.gauge("storage.plain_bytes")
+          .Set(static_cast<double>(db.chunked->PlainBytes()));
+      registry.gauge("storage.chunks")
+          .Set(static_cast<double>(db.chunked->num_chunks()));
+    }
   }
 
   // Builds one query's plan + blooms. With multiple workers configured,
@@ -137,6 +158,12 @@ struct SsbEngine::Impl {
       const std::uint64_t t0 = MonotonicNanos();
       entry.blooms = BuildBlooms(entry.bound.plan);
       if (!entry.blooms.empty()) entry.bloom_nanos = MonotonicNanos() - t0;
+    }
+    if (config.chunked_scan && config.scan_pruning &&
+        db.chunked != nullptr) {
+      HEF_TRACE_SPAN("engine.prune");
+      entry.pruning = ComputeChunkPruning(db, entry.bound.plan,
+                                          QueryName(id));
     }
     return entry;
   }
@@ -191,11 +218,53 @@ struct SsbEngine::Impl {
                     std::vector<OpAcc>* accs = nullptr,
                     const PerfCounters* pmu = nullptr,
                     telemetry::Histogram* block_rows_hist = nullptr,
-                    const exec::QueryContext* ctx = nullptr) {
+                    const exec::QueryContext* ctx = nullptr,
+                    const std::vector<std::uint8_t>* chunk_alive = nullptr) {
     const HybridConfig probe_cfg = config.ProbeConfig();
     const HybridConfig gather_cfg = config.GatherConfig();
+    const HybridConfig decode_cfg = config.DecodeConfig();
     const Flavor flavor = config.flavor;
     const auto block = static_cast<std::size_t>(config.block_size);
+
+    // Chunked scan: resolve each distinct plan column to its chunked
+    // shadow once, and pair it with a decoded-block buffer. Inside the
+    // block loop `column_base` decodes a column's block on first touch —
+    // columns a filter chain already killed the block for never decode.
+    const ssb::ChunkedFact* chunked =
+        config.chunked_scan ? db.chunked.get() : nullptr;
+    struct DecodedCol {
+      const ssb::Column* flat = nullptr;
+      const storage::ChunkedColumn* col = nullptr;
+      std::uint64_t* data = nullptr;
+      bool ready = false;
+    };
+    std::array<DecodedCol, 8> dcols;
+    std::size_t n_dcols = 0;
+    const std::size_t chunk_rows =
+        chunked != nullptr ? chunked->chunk_rows() : 0;
+    if (chunked != nullptr) {
+      auto add = [&](const ssb::Column* flat) {
+        if (flat == nullptr) return;
+        for (std::size_t i = 0; i < n_dcols; ++i) {
+          if (dcols[i].flat == flat) return;
+        }
+        const storage::ChunkedColumn* col = chunked->Find(flat);
+        HEF_CHECK_MSG(col != nullptr,
+                      "chunked scan: plan column is not a fact column");
+        HEF_CHECK_MSG(n_dcols < dcols.size(),
+                      "chunked scan: too many distinct plan columns");
+        if (buf.decoded[n_dcols].capacity() < block) {
+          buf.decoded[n_dcols].Allocate(block, 64);
+        }
+        dcols[n_dcols] = {flat, col, buf.decoded[n_dcols].data(), false};
+        ++n_dcols;
+      };
+      for (const RangeFilter& f : plan.filters) add(f.col);
+      for (const JoinStage& j : plan.joins) add(j.fact_key);
+      add(plan.value_a);
+      add(plan.value_b);
+      buf.decode_scratch.EnsureCapacity(block);
+    }
 
     auto& rows = buf.rows;
     auto& keys = buf.keys;
@@ -260,16 +329,44 @@ struct SsbEngine::Impl {
       // robustness tests use to stop, stall, or blow up mid-query).
       if (ctx != nullptr && HEF_UNLIKELY(ctx->ShouldStop())) break;
       HEF_FAULT_POINT("engine.morsel");
+      // Zone-map verdict: a dead chunk's blocks never decode, scan, or
+      // probe anything. chunk_rows % block == 0 (validated in TryRun),
+      // so a block maps to exactly one chunk.
+      if (chunk_alive != nullptr && !(*chunk_alive)[b0 / chunk_rows]) {
+        continue;
+      }
       const std::size_t bn = std::min(block, row_end - b0);
       std::size_t n = bn;
-      bool identity = true;  // rows == [b0, b0 + n)
+      bool identity = true;  // rows == [0, n), block-local
       probed_count = 0;
+      for (std::size_t i = 0; i < n_dcols; ++i) dcols[i].ready = false;
+
+      // Base pointer of a fact column for this block: flat data at b0,
+      // or the block decoded from the chunked shadow on first touch.
+      // Row ids are block-local, so every downstream gather works off
+      // this base regardless of the storage layout.
+      auto column_base = [&](const ssb::Column& col)
+          -> const std::uint64_t* {
+        if (chunked == nullptr) return col.data() + b0;
+        for (std::size_t i = 0; i < n_dcols; ++i) {
+          DecodedCol& d = dcols[i];
+          if (d.flat != &col) continue;
+          if (!d.ready) {
+            d.col->DecodeRange(decode_cfg, b0, bn, buf.decode_scratch,
+                               d.data);
+            d.ready = true;
+          }
+          return d.data;
+        }
+        HEF_CHECK_MSG(false, "column not registered for chunked scan");
+        __builtin_unreachable();
+      };
 
       // Applies the survivor positions in pos[0..m) to the row-id vector
       // and all live payload vectors.
       auto apply_selection = [&](std::size_t m) {
         if (identity) {
-          for (std::size_t i = 0; i < m; ++i) rows[i] = b0 + pos[i];
+          for (std::size_t i = 0; i < m; ++i) rows[i] = pos[i];
           identity = false;
         } else {
           GatherArray(gather_cfg, rows.data(), pos.data(), scratch.data(),
@@ -289,8 +386,9 @@ struct SsbEngine::Impl {
       auto fetch = [&](const ssb::Column& col,
                        AlignedBuffer<std::uint64_t>& out)
           -> const std::uint64_t* {
-        if (identity) return col.data() + b0;
-        GatherArray(gather_cfg, col.data(), rows.data(), out.data(), n);
+        const std::uint64_t* base = column_base(col);
+        if (identity) return base;
+        GatherArray(gather_cfg, base, rows.data(), out.data(), n);
         return out.data();
       };
 
@@ -307,8 +405,8 @@ struct SsbEngine::Impl {
           op_begin();
           std::uint64_t* target =
               fi == 0 ? bitmap_a.data() : bitmap_b.data();
-          live = ScanRangeBitmap(flavor, f.col->data() + b0, n, f.lo, f.hi,
-                                 target);
+          live = ScanRangeBitmap(flavor, column_base(*f.col), n, f.lo,
+                                 f.hi, target);
           if (fi > 0) {
             live = BitmapAnd(bitmap_a.data(), bitmap_b.data(), n);
           }
@@ -445,6 +543,7 @@ struct SsbEngine::Impl {
                          const std::vector<OpAcc>& accs,
                          std::uint64_t bloom_nanos, std::uint64_t total,
                          std::uint64_t qualifying,
+                         const ChunkPruning* pruning,
                          QueryResult* result) const {
     const ssb::LineorderFact& lo = db.lineorder;
     auto to_stats = [](const std::string& name, const OpAcc& a) {
@@ -472,10 +571,18 @@ struct SsbEngine::Impl {
       s.invocations = 1;
       ops.push_back(std::move(s));
     }
+    // Pruning stages align with the filter-then-join operator order, so
+    // `idx` doubles as the ChunkPruning stage index.
+    auto attach_chunks = [&](OperatorStats& s, std::size_t stage) {
+      if (pruning == nullptr || stage >= pruning->reached.size()) return;
+      s.chunks_pruned = pruning->pruned_by[stage];
+      s.chunks_scanned = pruning->reached[stage] - s.chunks_pruned;
+    };
     std::size_t idx = 0;
     for (const RangeFilter& f : plan.filters) {
       ops.push_back(to_stats(
           std::string("filter.") + FactColumnName(lo, f.col), accs[idx]));
+      attach_chunks(ops.back(), idx);
       ++idx;
     }
     auto& registry = telemetry::MetricsRegistry::Get();
@@ -483,6 +590,7 @@ struct SsbEngine::Impl {
       const std::string name =
           std::string("probe.") + FactColumnName(lo, j.fact_key);
       ops.push_back(to_stats(name, accs[idx]));
+      attach_chunks(ops.back(), idx);
       registry.gauge("engine.selectivity." + name)
           .Set(ops.back().Selectivity());
       ++idx;
@@ -510,10 +618,16 @@ struct SsbEngine::Impl {
   QueryResult ExecutePlan(
       const StarPlan& plan,
       const std::vector<std::unique_ptr<BloomFilter>>& blooms,
-      std::uint64_t bloom_nanos, const exec::QueryContext* ctx = nullptr) {
+      std::uint64_t bloom_nanos, const ChunkPruning* pruning = nullptr,
+      const exec::QueryContext* ctx = nullptr) {
     const bool stats = config.collect_stats;
-    const std::size_t total = db.lineorder.n;
+    const std::size_t total = config.chunked_scan && db.chunked != nullptr
+                                  ? db.chunked->rows()
+                                  : db.lineorder.n;
     const auto block = static_cast<std::size_t>(config.block_size);
+    const std::vector<std::uint8_t>* alive =
+        pruning != nullptr && !pruning->alive.empty() ? &pruning->alive
+                                                      : nullptr;
 
     std::vector<std::uint64_t> agg(plan.gid_domain, 0);
     std::vector<std::uint64_t> cnt(plan.gid_domain, 0);
@@ -548,7 +662,7 @@ struct SsbEngine::Impl {
       }
       ExecuteRange(plan, blooms, main_buffers, 0, total, agg, cnt,
                    &qualifying, stats ? &accs : nullptr, pmu.get(),
-                   block_hist, ctx);
+                   block_hist, ctx, alive);
     } else {
       // Morsel parallelism over the persistent pool: workers claim
       // block-aligned morsels dynamically from the scheduler (stealing
@@ -587,7 +701,7 @@ struct SsbEngine::Impl {
                            std::min(total, blk_end * block), worker_agg[t],
                            worker_cnt[t], &q,
                            stats ? &worker_accs[t] : nullptr, pmu.get(),
-                           block_hist, ctx);
+                           block_hist, ctx, alive);
               worker_qualifying[t] += q;
             }
           },
@@ -610,9 +724,21 @@ struct SsbEngine::Impl {
     QueryResult result;
     result.qualifying_rows = qualifying;
     result.morsels = morsels;
+    if (config.chunked_scan && db.chunked != nullptr) {
+      result.chunks_total = db.chunked->num_chunks();
+      result.chunks_scanned = pruning != nullptr
+                                  ? pruning->chunks_scanned
+                                  : result.chunks_total;
+      result.chunks_pruned = result.chunks_total - result.chunks_scanned;
+      auto& registry = telemetry::MetricsRegistry::Get();
+      registry.counter("storage.chunks_scanned")
+          .Increment(result.chunks_scanned);
+      registry.counter("storage.chunks_pruned")
+          .Increment(result.chunks_pruned);
+    }
     if (stats) {
       FillOperatorStats(plan, accs, bloom_nanos, total, qualifying,
-                        &result);
+                        pruning, &result);
     }
     for (std::size_t g = 0; g < plan.gid_domain; ++g) {
       if (cnt[g] == 0) continue;
@@ -632,6 +758,21 @@ struct SsbEngine::Impl {
   Result<QueryResult> TryRun(QueryId id, const exec::QueryContext& ctx) {
     HEF_TRACE_SPAN("engine.query");
     HEF_RETURN_NOT_OK(CheckFlavorSupported(config.flavor));
+    if (config.chunked_scan) {
+      if (db.chunked == nullptr) {
+        return Status::InvalidArgument(
+            "chunked_scan requires ssb::EnsureChunked(db) before queries "
+            "run");
+      }
+      const std::size_t chunk_rows = db.chunked->chunk_rows();
+      if (chunk_rows % static_cast<std::size_t>(config.block_size) != 0) {
+        return Status::InvalidArgument(
+            "chunked_scan needs chunk_rows (" +
+            std::to_string(chunk_rows) +
+            ") to be a multiple of block_size (" +
+            std::to_string(config.block_size) + ")");
+      }
+    }
     HEF_RETURN_NOT_OK(ctx.Check());
     const bool stats = config.collect_stats;
 
@@ -693,7 +834,10 @@ struct SsbEngine::Impl {
     QueryResult result;
     try {
       result = ExecutePlan(entry->bound.plan, entry->blooms,
-                           cache_hit ? 0 : entry->bloom_nanos, &ctx);
+                           cache_hit ? 0 : entry->bloom_nanos,
+                           entry->pruning.alive.empty() ? nullptr
+                                                        : &entry->pruning,
+                           &ctx);
     } catch (const std::exception& e) {
       return Status::Internal(std::string("query execution failed for ") +
                               QueryName(id) + ": " + e.what());

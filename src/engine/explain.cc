@@ -91,6 +91,13 @@ std::string ExplainToText(const ExplainMeta& meta,
     out += " morsels=" + std::to_string(result.morsels);
   }
   out += result.plan_cache_hit ? " plan=cached" : " plan=built";
+  if (result.chunks_total != 0) {
+    out += " chunks=" + std::to_string(result.chunks_scanned) + "/" +
+           std::to_string(result.chunks_total);
+    if (result.chunks_pruned != 0) {
+      out += " pruned=" + std::to_string(result.chunks_pruned);
+    }
+  }
   out += "\n";
   if (result.operator_stats.empty()) {
     out += "  (no operator stats; run with --stats / collect_stats)\n";
@@ -122,6 +129,11 @@ std::string ExplainToText(const ExplainMeta& meta,
         out += sel;
       }
     }
+    if (op.chunks_scanned != 0 || op.chunks_pruned != 0) {
+      // scanned / reached for this stage (first pruning cause wins).
+      out += "  chunks=" + std::to_string(op.chunks_scanned) + "/" +
+             std::to_string(op.chunks_scanned + op.chunks_pruned);
+    }
     if (op.invocations > 1) {
       out += "  calls=" + std::to_string(op.invocations);
     }
@@ -152,6 +164,11 @@ std::string ExplainToJson(const ExplainMeta& meta,
   w.Key("morsels").UInt(result.morsels);
   w.Key("plan_cache_hit").Bool(result.plan_cache_hit);
   w.Key("qualifying_rows").UInt(result.qualifying_rows);
+  if (result.chunks_total != 0) {
+    w.Key("chunks_total").UInt(result.chunks_total);
+    w.Key("chunks_scanned").UInt(result.chunks_scanned);
+    w.Key("chunks_pruned").UInt(result.chunks_pruned);
+  }
   w.Key("output_rows")
       .UInt(static_cast<std::uint64_t>(result.rows.size()));
   if (meta.tuned) {
@@ -179,6 +196,10 @@ std::string ExplainToJson(const ExplainMeta& meta,
     w.Key("rows_in").UInt(op.rows_in);
     w.Key("rows_out").UInt(op.rows_out);
     w.Key("selectivity").Double(op.Selectivity());
+    if (op.chunks_scanned != 0 || op.chunks_pruned != 0) {
+      w.Key("chunks_scanned").UInt(op.chunks_scanned);
+      w.Key("chunks_pruned").UInt(op.chunks_pruned);
+    }
     if (const HybridConfig* t = TunedPoint(kind, meta)) {
       w.Key("tuned").BeginObject();
       w.Key("v").Int(t->v);

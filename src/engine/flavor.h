@@ -85,6 +85,20 @@ struct EngineConfig {
   // Serving workloads want this on; paper-exhibit benchmarks that report
   // end-to-end per-query time (build included) turn it off.
   bool plan_cache = true;
+  // Scan the fact table through the chunked, per-chunk-encoded shadow
+  // (ssb::EnsureChunked) instead of the flat columns, decoding each
+  // pipeline block on first touch. Requires db.chunked to be built with
+  // chunk_rows a multiple of block_size; Run() rejects the query
+  // otherwise.
+  bool chunked_scan = false;
+  // With chunked_scan: evaluate every chunk's zone map + histogram
+  // against the plan's range filters and join key ranges at plan build,
+  // and skip chunks proven empty before morsel dispatch. Results are
+  // bit-identical with pruning on or off.
+  bool scan_pruning = false;
+  // Coordinates of the chunk-decode kernels (bit-unpack, FoR-add,
+  // dictionary gather) when flavor == kHybrid.
+  HybridConfig decode_cfg{1, 1, 3};
 
   // The kernel coordinate this engine flavour runs at.
   HybridConfig ProbeConfig() const {
@@ -106,6 +120,17 @@ struct EngineConfig {
         return HybridConfig::PureSimd();
       case Flavor::kHybrid:
         return gather_cfg;
+    }
+    return HybridConfig::PureSimd();
+  }
+  HybridConfig DecodeConfig() const {
+    switch (flavor) {
+      case Flavor::kScalar:
+        return HybridConfig::PureScalar();
+      case Flavor::kSimd:
+        return HybridConfig::PureSimd();
+      case Flavor::kHybrid:
+        return decode_cfg;
     }
     return HybridConfig::PureSimd();
   }

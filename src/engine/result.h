@@ -27,6 +27,13 @@ struct OperatorStats {
   // PMU deltas attributed to this operator (collect_pmu); valid == false
   // when the PMU is unavailable.
   PerfReading perf;
+  // Chunked-scan pruning verdicts attributed to this operator (filters
+  // and probes only; both zero when pruning is off): chunks whose zone
+  // map / histogram survived this operator's predicate, and chunks this
+  // operator pruned (first pruning cause wins, so the counts of
+  // successive operators nest).
+  std::uint64_t chunks_scanned = 0;
+  std::uint64_t chunks_pruned = 0;
 
   // Fraction of input rows surviving this operator; 1 when no rows seen.
   double Selectivity() const {
@@ -62,6 +69,12 @@ struct QueryResult {
   std::uint64_t wall_nanos = 0;   // end-to-end run wall time
   std::uint64_t morsels = 0;      // morsels dispatched (blocks when serial)
   bool plan_cache_hit = false;    // plan came from the engine's plan cache
+  // Chunked-scan envelope (all zero when the engine scans flat columns):
+  // fact chunks per column, chunks dispatched to the pipeline, and chunks
+  // skipped by the zone-map pruning pass.
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_scanned = 0;
+  std::uint64_t chunks_pruned = 0;
 
   std::uint64_t TotalValue() const {
     std::uint64_t total = 0;

@@ -1,9 +1,13 @@
 #include "engine/scan.h"
 
 #include <cstring>
+#include <vector>
 
 #include "common/macros.h"
+#include "engine/star_plan.h"
 #include "hid/hid.h"
+#include "ssb/chunked_fact.h"
+#include "telemetry/flight_recorder.h"
 
 namespace hef {
 
@@ -88,6 +92,68 @@ std::size_t BitmapToPositions(const std::uint64_t* bitmap, std::size_t n,
     }
   }
   return count;
+}
+
+ChunkPruning ComputeChunkPruning(const ssb::SsbDatabase& db,
+                                 const StarPlan& plan,
+                                 const std::string& label) {
+  HEF_CHECK_MSG(db.chunked != nullptr,
+                "ComputeChunkPruning requires a built chunked fact");
+  const ssb::ChunkedFact& fact = *db.chunked;
+
+  // One pruning stage per filter then per join: the stage's chunked
+  // column and its necessary [lo, hi] range. A stage whose column is not
+  // part of the chunked fact (defensive; all plan columns are) never
+  // votes.
+  struct Stage {
+    const storage::ChunkedColumn* col;
+    std::uint64_t lo, hi;
+    std::string cause;
+  };
+  std::vector<Stage> stages;
+  stages.reserve(plan.filters.size() + plan.joins.size());
+  for (const RangeFilter& f : plan.filters) {
+    stages.push_back({fact.Find(f.col), f.lo, f.hi,
+                      std::string("filter.") +
+                          FactColumnName(db.lineorder, f.col)});
+  }
+  for (const JoinStage& j : plan.joins) {
+    stages.push_back({fact.Find(j.fact_key), j.key_lo, j.key_hi,
+                      std::string("probe.") +
+                          FactColumnName(db.lineorder, j.fact_key)});
+  }
+
+  ChunkPruning pruning;
+  const std::size_t chunks = fact.num_chunks();
+  pruning.chunks_total = chunks;
+  pruning.alive.assign(chunks, 1);
+  pruning.reached.assign(stages.size(), 0);
+  pruning.pruned_by.assign(stages.size(), 0);
+
+  auto& recorder = telemetry::FlightRecorder::Get();
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      const Stage& stage = stages[s];
+      if (stage.col == nullptr) continue;
+      ++pruning.reached[s];
+      // lo > hi is the empty range (an empty dimension table): nothing
+      // can match, prune unconditionally.
+      if (stage.lo <= stage.hi &&
+          stage.col->chunk(c).MayContainRange(stage.lo, stage.hi)) {
+        continue;
+      }
+      ++pruning.pruned_by[s];
+      pruning.alive[c] = 0;
+      recorder.Record(telemetry::FlightEventKind::kScanPrune,
+                      stage.cause.c_str(), /*trace_id=*/0, /*arg0=*/c);
+      break;
+    }
+    pruning.chunks_scanned += pruning.alive[c];
+  }
+  recorder.Record(telemetry::FlightEventKind::kScanPrune, label.c_str(),
+                  /*trace_id=*/0, /*arg0=*/pruning.chunks_scanned,
+                  /*arg1=*/pruning.chunks_total);
+  return pruning;
 }
 
 }  // namespace hef

@@ -15,10 +15,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "engine/flavor.h"
 
 namespace hef {
+
+namespace ssb {
+struct SsbDatabase;
+}  // namespace ssb
+
+struct StarPlan;
 
 // Words needed for an n-row bitmap.
 inline std::size_t BitmapWords(std::size_t n) { return (n + 63) / 64; }
@@ -38,6 +46,34 @@ std::size_t BitmapAnd(std::uint64_t* dst, const std::uint64_t* src,
 // Extracts the positions of set bits (ascending); returns the count.
 std::size_t BitmapToPositions(const std::uint64_t* bitmap, std::size_t n,
                               std::uint64_t* positions_out);
+
+// Verdicts of the statistics-driven scan-pruning pass: one alive bit per
+// fact chunk, plus per-stage attribution. Computed once at plan build
+// (the chunk statistics and the plan's predicate ranges are both fixed),
+// consulted by every block of every Run.
+struct ChunkPruning {
+  std::vector<std::uint8_t> alive;  // per chunk: 1 = scan, 0 = skip
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_scanned = 0;  // popcount of alive
+  // Per pruning stage (plan filters in order, then joins in probe
+  // order): chunks that reached the stage un-pruned, and chunks the
+  // stage pruned. First cause wins, so sum(pruned_by) + chunks_scanned
+  // == chunks_total.
+  std::vector<std::uint64_t> reached;
+  std::vector<std::uint64_t> pruned_by;
+};
+
+// Evaluates every chunk of db.chunked against the plan's range filters
+// (zone map + histogram on the filtered column) and join key ranges
+// (zone map + histogram on the fact foreign key against [key_lo,
+// key_hi]). Pruning is conservative: a pruned chunk is *proven* to
+// contribute no qualifying row, so results are bit-identical with the
+// pass on or off. Emits one kScanPrune flight event per pruned chunk
+// plus a per-query summary; `label` names the query in those events.
+// Requires db.chunked != nullptr.
+ChunkPruning ComputeChunkPruning(const ssb::SsbDatabase& db,
+                                 const StarPlan& plan,
+                                 const std::string& label);
 
 }  // namespace hef
 

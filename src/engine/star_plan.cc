@@ -473,6 +473,18 @@ BoundPlan BuildQueryPlan(const SsbDatabase& db, QueryId id,
                    [](const JoinStage& a, const JoinStage& b) {
                      return a.selectivity < b.selectivity;
                    });
+  // Key ranges for zone-map join pruning: scan each table's key slab
+  // once. Dimension filters are usually range-shaped in key space (a
+  // week of datekeys, a brand interval), so [key_lo, key_hi] is a tight
+  // necessary condition on matching fact chunks.
+  for (JoinStage& join : bound.plan.joins) {
+    for (std::size_t slot = 0; slot < join.table->capacity(); ++slot) {
+      const std::uint64_t key = join.table->keys()[slot];
+      if (key == kEmptyKey) continue;
+      join.key_lo = std::min(join.key_lo, key);
+      join.key_hi = std::max(join.key_hi, key);
+    }
+  }
   return bound;
 }
 

@@ -42,6 +42,12 @@ struct JoinStage {
   // argument array. Assigned in schema order at plan build, BEFORE the
   // selectivity sort, so `gid`/`decode` are independent of probe order.
   int payload_slot = -1;
+  // Smallest and largest key present in `table` (after the dimension
+  // filter), for zone-map join pruning: a fact chunk whose key range
+  // misses [key_lo, key_hi] cannot produce a hit in this join. An empty
+  // table keeps the initial key_lo > key_hi state (prunes everything).
+  std::uint64_t key_lo = ~0ULL;
+  std::uint64_t key_hi = 0;
 };
 
 // A fully-bound star query plan. `gid` maps the join payloads of one

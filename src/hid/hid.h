@@ -103,6 +103,18 @@ HEF_INLINE hi_uint64<B> hi_slli_epi64(hi_uint64<B> a) {
   return B::template Slli<kShift>(a);
 }
 
+// Per-lane variable shifts (vpsrlvq/vpsllvq family); used by the chunk
+// decode kernels to align bit-packed values within their word.
+template <typename B>
+HEF_INLINE hi_uint64<B> hi_srlv_epi64(hi_uint64<B> a, hi_uint64<B> counts) {
+  return B::SrlVar(a, counts);
+}
+
+template <typename B>
+HEF_INLINE hi_uint64<B> hi_sllv_epi64(hi_uint64<B> a, hi_uint64<B> counts) {
+  return B::SllVar(a, counts);
+}
+
 template <typename B>
 HEF_INLINE hi_mask<B> hi_cmpeq_epi64(hi_uint64<B> a, hi_uint64<B> b) {
   return B::CmpEq(a, b);

@@ -5,8 +5,14 @@
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "ssb/chunked_fact.h"
 
 namespace hef::ssb {
+
+SsbDatabase::SsbDatabase() = default;
+SsbDatabase::SsbDatabase(SsbDatabase&&) noexcept = default;
+SsbDatabase& SsbDatabase::operator=(SsbDatabase&&) noexcept = default;
+SsbDatabase::~SsbDatabase() = default;
 
 namespace {
 
@@ -153,6 +159,7 @@ std::size_t SsbDatabase::TotalBytes() const {
            bytes(lineorder.quantity) + bytes(lineorder.discount) +
            bytes(lineorder.extendedprice) + bytes(lineorder.revenue) +
            bytes(lineorder.supplycost);
+  if (chunked != nullptr) total += chunked->EncodedBytes();
   return total;
 }
 

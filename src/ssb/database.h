@@ -10,11 +10,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "common/aligned_buffer.h"
 #include "ssb/schema.h"
 
 namespace hef::ssb {
+
+class ChunkedFact;
 
 using Column = AlignedBuffer<std::uint64_t>;
 
@@ -66,12 +69,22 @@ struct LineorderFact {
 };
 
 struct SsbDatabase {
+  // Special members live in database.cc: ChunkedFact is incomplete here.
+  SsbDatabase();
+  SsbDatabase(SsbDatabase&&) noexcept;
+  SsbDatabase& operator=(SsbDatabase&&) noexcept;
+  ~SsbDatabase();
+
   double scale_factor = 0;
   DateDim date;
   CustomerDim customer;
   SupplierDim supplier;
   PartDim part;
   LineorderFact lineorder;
+
+  // Chunked, encoded shadow of the fact table; null until
+  // ssb::EnsureChunked(db) builds it (see ssb/chunked_fact.h).
+  std::shared_ptr<const ChunkedFact> chunked;
 
   // Generates a database at scale factor `sf` (SF1 = 6M lineorder rows,
   // 30k customers, 2k suppliers, 200k parts — the dbgen row counts).

@@ -14,10 +14,6 @@ namespace hef::ssb {
 
 namespace {
 
-// Column vectors parsed from one .tbl file (column-major so the copy
-// into AlignedBuffers is a straight memcpy per column).
-using ParsedTable = std::vector<std::vector<std::uint64_t>>;
-
 std::string Describe(const std::string& path, std::size_t line) {
   return path + ":" + std::to_string(line);
 }
@@ -58,28 +54,71 @@ Status ParseLine(const std::string& text, std::size_t cols,
   return Status::OK();
 }
 
-// Reads `path` into `out` (resized to `cols` column vectors).
-Status ReadTblFile(const std::string& path, std::size_t cols,
-                   ParsedTable& out) {
+// Counts the non-empty lines of `path` without retaining any of them.
+Status CountTblRows(const std::string& path, std::size_t* rows_out) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IoError("cannot open " + path + ": " +
                            std::strerror(errno));
   }
-  out.assign(cols, {});
+  std::size_t rows = 0;
   std::string line;
-  std::vector<std::uint64_t> row;
-  std::size_t line_no = 0;
   while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;  // tolerate a trailing blank line
-    HEF_RETURN_NOT_OK(ParseLine(line, cols, path, line_no, row));
-    for (std::size_t c = 0; c < cols; ++c) out[c].push_back(row[c]);
+    if (!line.empty()) ++rows;
   }
   if (in.bad()) {
     return Status::IoError("read error on " + path + ": " +
                            std::strerror(errno));
   }
+  *rows_out = rows;
+  return Status::OK();
+}
+
+// Streaming load: pass 1 counts rows, the columns are allocated at their
+// exact final size, pass 2 parses each line straight into them. Peak
+// memory is the resident columns plus one line — the whole-file
+// materialization the old loader did made SF 1 (6M rows x 9 columns)
+// roughly triple its final footprint during load.
+Status LoadTblColumns(const std::string& path,
+                      const std::vector<Column*>& cols,
+                      std::size_t* n_out) {
+  std::size_t rows = 0;
+  HEF_RETURN_NOT_OK(CountTblRows(path, &rows));
+  for (Column* col : cols) {
+    // Same padding the generator uses, so loaded and generated databases
+    // are interchangeable for the over-reading SIMD kernels.
+    col->Allocate(rows, 8);
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string line;
+  std::vector<std::uint64_t> row;
+  std::size_t line_no = 0;
+  std::size_t filled = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    if (filled == rows) {
+      return Status::IoError(Describe(path, line_no) +
+                             ": file grew between load passes");
+    }
+    HEF_RETURN_NOT_OK(ParseLine(line, cols.size(), path, line_no, row));
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      (*cols[c])[filled] = row[c];
+    }
+    ++filled;
+  }
+  if (in.bad()) {
+    return Status::IoError("read error on " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (filled != rows) {
+    return Status::IoError(path + ": file shrank between load passes");
+  }
+  *n_out = rows;
   return Status::OK();
 }
 
@@ -103,13 +142,6 @@ Status WriteTblFile(const std::string& path, std::size_t rows,
     return Status::IoError("write error on " + path);
   }
   return Status::OK();
-}
-
-void CopyColumn(const std::vector<std::uint64_t>& src, Column& dst) {
-  // Same padding the generator uses, so loaded and generated databases
-  // are interchangeable for the over-reading SIMD kernels.
-  dst.Allocate(src.size(), 8);
-  std::memcpy(dst.data(), src.data(), src.size() * sizeof(std::uint64_t));
 }
 
 Status CheckKeyRange(const Column& keys, std::size_t n, std::size_t dim_n,
@@ -192,53 +224,38 @@ Result<SsbDatabase> LoadTblDatabase(const std::string& dir) {
     db.scale_factor = sf;
   }
 
-  ParsedTable t;
   {
     const std::string path = dir + "/date.tbl";
-    HEF_RETURN_NOT_OK(ReadTblFile(path, 4, t));
-    db.date.n = t[0].size();
+    HEF_RETURN_NOT_OK(LoadTblColumns(
+        path,
+        {&db.date.datekey, &db.date.year, &db.date.yearmonthnum,
+         &db.date.weeknuminyear},
+        &db.date.n));
     if (db.date.n == 0) {
       return Status::InvalidArgument(path + ": DATE dimension is empty");
     }
-    CopyColumn(t[0], db.date.datekey);
-    CopyColumn(t[1], db.date.year);
-    CopyColumn(t[2], db.date.yearmonthnum);
-    CopyColumn(t[3], db.date.weeknuminyear);
   }
-  {
-    HEF_RETURN_NOT_OK(ReadTblFile(dir + "/customer.tbl", 3, t));
-    db.customer.n = t[0].size();
-    CopyColumn(t[0], db.customer.city);
-    CopyColumn(t[1], db.customer.nation);
-    CopyColumn(t[2], db.customer.region);
-  }
-  {
-    HEF_RETURN_NOT_OK(ReadTblFile(dir + "/supplier.tbl", 3, t));
-    db.supplier.n = t[0].size();
-    CopyColumn(t[0], db.supplier.city);
-    CopyColumn(t[1], db.supplier.nation);
-    CopyColumn(t[2], db.supplier.region);
-  }
-  {
-    HEF_RETURN_NOT_OK(ReadTblFile(dir + "/part.tbl", 3, t));
-    db.part.n = t[0].size();
-    CopyColumn(t[0], db.part.mfgr);
-    CopyColumn(t[1], db.part.category);
-    CopyColumn(t[2], db.part.brand1);
-  }
+  HEF_RETURN_NOT_OK(LoadTblColumns(
+      dir + "/customer.tbl",
+      {&db.customer.city, &db.customer.nation, &db.customer.region},
+      &db.customer.n));
+  HEF_RETURN_NOT_OK(LoadTblColumns(
+      dir + "/supplier.tbl",
+      {&db.supplier.city, &db.supplier.nation, &db.supplier.region},
+      &db.supplier.n));
+  HEF_RETURN_NOT_OK(LoadTblColumns(
+      dir + "/part.tbl", {&db.part.mfgr, &db.part.category, &db.part.brand1},
+      &db.part.n));
   {
     const std::string path = dir + "/lineorder.tbl";
-    HEF_RETURN_NOT_OK(ReadTblFile(path, 9, t));
-    db.lineorder.n = t[0].size();
-    CopyColumn(t[0], db.lineorder.orderdate);
-    CopyColumn(t[1], db.lineorder.custkey);
-    CopyColumn(t[2], db.lineorder.suppkey);
-    CopyColumn(t[3], db.lineorder.partkey);
-    CopyColumn(t[4], db.lineorder.quantity);
-    CopyColumn(t[5], db.lineorder.discount);
-    CopyColumn(t[6], db.lineorder.extendedprice);
-    CopyColumn(t[7], db.lineorder.revenue);
-    CopyColumn(t[8], db.lineorder.supplycost);
+    HEF_RETURN_NOT_OK(LoadTblColumns(
+        path,
+        {&db.lineorder.orderdate, &db.lineorder.custkey,
+         &db.lineorder.suppkey, &db.lineorder.partkey,
+         &db.lineorder.quantity, &db.lineorder.discount,
+         &db.lineorder.extendedprice, &db.lineorder.revenue,
+         &db.lineorder.supplycost},
+        &db.lineorder.n));
 
     // Referential integrity: the plan builder indexes dimension columns
     // by fact keys, so a bad key here would become an out-of-bounds read

@@ -1,0 +1,88 @@
+#include "storage/chunked_column.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace hef::storage {
+namespace {
+
+// Decodes rows [first, first + count) of one chunk.
+void DecodeChunkRange(const ColumnChunk& chunk, const HybridConfig& cfg,
+                      std::size_t first, std::size_t count,
+                      DecodeScratch& scratch, std::uint64_t* out) {
+  HEF_DCHECK(first + count <= chunk.rows);
+  switch (chunk.encoding) {
+    case Encoding::kPlain:
+      std::memcpy(out, chunk.words.data() + first,
+                  count * sizeof(std::uint64_t));
+      return;
+    case Encoding::kFor:
+      if (chunk.width == 0) {
+        for (std::size_t i = 0; i < count; ++i) out[i] = chunk.reference;
+        return;
+      }
+      scratch.EnsureCapacity(count);
+      UnpackBitsArray(cfg, chunk.words.data(), chunk.width, first,
+                      scratch.iota(), scratch.stage(), count);
+      ForAddArray(cfg, chunk.reference, scratch.stage(), out, count);
+      return;
+    case Encoding::kDict:
+      if (chunk.width == 0) {
+        for (std::size_t i = 0; i < count; ++i) out[i] = chunk.dict[0];
+        return;
+      }
+      scratch.EnsureCapacity(count);
+      UnpackBitsArray(cfg, chunk.words.data(), chunk.width, first,
+                      scratch.iota(), scratch.stage(), count);
+      DictGatherArray(cfg, chunk.dict.data(), scratch.stage(), out, count);
+      return;
+  }
+  HEF_CHECK_MSG(false, "unreachable encoding %d",
+                static_cast<int>(chunk.encoding));
+}
+
+}  // namespace
+
+ChunkedColumn ChunkedColumn::Encode(const std::uint64_t* values,
+                                    std::size_t n, std::size_t chunk_rows,
+                                    EncodingPolicy policy) {
+  HEF_CHECK(chunk_rows > 0);
+  ChunkedColumn column;
+  column.size_ = n;
+  column.chunk_rows_ = chunk_rows;
+  column.chunks_.reserve((n + chunk_rows - 1) / chunk_rows);
+  for (std::size_t begin = 0; begin < n; begin += chunk_rows) {
+    const std::size_t rows = std::min(chunk_rows, n - begin);
+    column.chunks_.push_back(EncodeChunk(values + begin, rows, policy));
+  }
+  return column;
+}
+
+void ChunkedColumn::DecodeRange(const HybridConfig& cfg, std::size_t begin,
+                                std::size_t count, DecodeScratch& scratch,
+                                std::uint64_t* out) const {
+  HEF_CHECK_MSG(begin + count <= size_,
+                "decode range [%zu, %zu) exceeds column size %zu", begin,
+                begin + count, size_);
+  while (count > 0) {
+    const std::size_t c = begin / chunk_rows_;
+    const std::size_t first = begin - c * chunk_rows_;
+    const std::size_t take = std::min(count, chunk_rows_ - first);
+    DecodeChunkRange(chunks_[c], cfg, first, take, scratch, out);
+    begin += take;
+    count -= take;
+    out += take;
+  }
+}
+
+std::size_t ChunkedColumn::EncodedBytes() const {
+  std::size_t bytes = 0;
+  for (const ColumnChunk& chunk : chunks_) {
+    bytes += chunk.EncodedBytes();
+  }
+  return bytes;
+}
+
+}  // namespace hef::storage

@@ -40,15 +40,46 @@ int MetricDirection(const std::string& name) {
   return 0;  // counts, scale factors, ids: not judged
 }
 
-// A matched-row identity: the concatenation of the row's string cells.
-std::string RowKey(const JsonValue& row) {
+// A matched-row identity: the concatenation of the row's string cells,
+// minus any the caller asked to ignore (variant axes).
+std::string RowKey(const JsonValue& row,
+                   const std::vector<std::string>& ignore_fields) {
   std::string key;
   for (const auto& [name, value] : row.object()) {
     if (!value.is_string()) continue;
+    if (std::find(ignore_fields.begin(), ignore_fields.end(), name) !=
+        ignore_fields.end()) {
+      continue;
+    }
     if (!key.empty()) key += ' ';
     key += name + "=" + value.string();
   }
   return key.empty() ? "(row)" : key;
+}
+
+// Re-serializes a parsed JsonValue (JsonWriter emits the syntax; object
+// key order follows the parsed map, which is fine for documents only
+// machines read back).
+void WriteValue(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: w.Null(); break;
+    case JsonValue::Kind::kBool: w.Bool(v.bool_value()); break;
+    case JsonValue::Kind::kNumber: w.Double(v.number()); break;
+    case JsonValue::Kind::kString: w.String(v.string()); break;
+    case JsonValue::Kind::kArray:
+      w.BeginArray();
+      for (const JsonValue& item : v.array()) WriteValue(w, item);
+      w.EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w.BeginObject();
+      for (const auto& [name, value] : v.object()) {
+        w.Key(name);
+        WriteValue(w, value);
+      }
+      w.EndObject();
+      break;
+  }
 }
 
 double Median(std::vector<double> values) {
@@ -196,7 +227,9 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
   // the same query) are matched in order of appearance.
   std::map<std::string, std::vector<const JsonValue*>> candidate_rows;
   for (const JsonValue& row : candidate->Find("results")->array()) {
-    if (row.is_object()) candidate_rows[RowKey(row)].push_back(&row);
+    if (row.is_object()) {
+      candidate_rows[RowKey(row, options.ignore_fields)].push_back(&row);
+    }
   }
   std::map<std::string, std::size_t> used;
 
@@ -207,7 +240,7 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
 
   for (const JsonValue& row : baseline->Find("results")->array()) {
     if (!row.is_object()) continue;
-    const std::string key = RowKey(row);
+    const std::string key = RowKey(row, options.ignore_fields);
     auto it = candidate_rows.find(key);
     if (it == candidate_rows.end() || used[key] >= it->second.size()) {
       report.unmatched_baseline_rows.push_back(key);
@@ -278,6 +311,43 @@ Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
               return a.metric < b.metric;
             });
   return report;
+}
+
+Result<std::string> MergeBenchReports(
+    const std::vector<std::string>& report_jsons) {
+  if (report_jsons.empty()) {
+    return Status::InvalidArgument("merge: no reports given");
+  }
+  std::vector<JsonValue> docs;
+  docs.reserve(report_jsons.size());
+  for (std::size_t i = 0; i < report_jsons.size(); ++i) {
+    Result<JsonValue> doc = JsonValue::Parse(report_jsons[i]);
+    if (!doc.ok()) {
+      return Status::InvalidArgument("merge input " + std::to_string(i) +
+                                     ": " + doc.status().message());
+    }
+    HEF_RETURN_NOT_OK(ValidateDoc(*doc, "merge input"));
+    docs.push_back(std::move(*doc));
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("hef-bench-v1");
+  w.Key("bench").String(docs.front().StringOr("bench", ""));
+  w.Key("configs").BeginArray();
+  for (const JsonValue& doc : docs) {
+    const JsonValue* config = doc.Find("config");
+    if (config != nullptr) WriteValue(w, *config);
+  }
+  w.EndArray();
+  w.Key("results").BeginArray();
+  for (const JsonValue& doc : docs) {
+    for (const JsonValue& row : doc.Find("results")->array()) {
+      WriteValue(w, row);
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace hef::telemetry

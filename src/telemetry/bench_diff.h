@@ -39,6 +39,10 @@ struct BenchDiffOptions {
   // When set, missing metrics and unmatched baseline rows also count as
   // regressions.
   bool strict = false;
+  // String cells excluded from row identity. Lets rows tagged with a
+  // variant axis (encoding="flat" vs encoding="auto") match across the
+  // two documents, e.g. to judge the pruned run against the flat one.
+  std::vector<std::string> ignore_fields;
 };
 
 enum class MetricVerdict { kImproved, kRegressed, kWithinNoise, kMissing };
@@ -80,6 +84,15 @@ struct BenchDiffReport {
 Result<BenchDiffReport> DiffBenchReports(const std::string& baseline_json,
                                          const std::string& candidate_json,
                                          const BenchDiffOptions& options);
+
+// Concatenates the results arrays of several hef-bench-v1 documents into
+// one (bench name from the first; per-run configs preserved under
+// "configs"). How multi-variant documents are built: run the harness once
+// per variant (e.g. --encoding=flat, --encoding=auto --pruning), tag the
+// rows, merge, diff against a merged baseline. InvalidArgument when the
+// list is empty or any document fails hef-bench-v1 validation.
+Result<std::string> MergeBenchReports(
+    const std::vector<std::string>& report_jsons);
 
 }  // namespace hef::telemetry
 

@@ -120,6 +120,7 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kFaultFired: return "fault_fired";
     case FlightEventKind::kTunerRetune: return "tuner_retune";
     case FlightEventKind::kFlightDump: return "flight_dump";
+    case FlightEventKind::kScanPrune: return "scan_prune";
   }
   return "unknown";
 }

@@ -43,6 +43,8 @@ enum class FlightEventKind : std::uint16_t {
   kFaultFired,          // detail=fault point, arg0=hit number
   kTunerRetune,         // detail=operator, arg0/arg1=(v,s,p) packed/seconds ns
   kFlightDump,          // detail=reason
+  kScanPrune,           // per chunk: detail=cause op, arg0=chunk index;
+                        // summary: detail=query, arg0=scanned, arg1=total
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -12,6 +12,8 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engine/primitives.h"
+#include "storage/decode.h"
+#include "storage/encoding.h"
 #include "table/bloom_filter.h"
 #include "table/linear_hash_table.h"
 #include "table/probe.h"
@@ -249,6 +251,115 @@ TuneResult TuneBloomProbe(const KernelTuneOptions& options) {
             [&] {
               BloomProbeArray(cfg, filter, keys.data(), out.data(),
                               keys.size());
+            },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneUnpackBits(const KernelTuneOptions& options) {
+  // Tuning workload: a 16-bit packed payload (the modal SSB fact width —
+  // orderdate/custkey/suppkey all land there) unpacked from the front of
+  // the chunk, the way DecodeRange drives the kernel.
+  constexpr std::uint8_t kWidth = 16;
+  AlignedBuffer<std::uint64_t> values(options.elements, 256);
+  Rng rng(31);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.Uniform(0, (1ULL << kWidth) - 1);
+  }
+  AlignedBuffer<std::uint64_t> words(
+      storage::PackedWords(options.elements, kWidth), 8);
+  storage::PackBits(values.data(), values.size(), kWidth, words.data());
+  storage::DecodeScratch scratch;
+  scratch.EnsureCapacity(options.elements);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+
+  const auto& grid = storage::UnpackBitsSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model,
+          {storage::UnpackBitsKernelOps(), CpuFeatures::Get().BestIsa()},
+          storage::kUnpackBitsLiveValues, storage::kUnpackBitsConstants),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  tune.static_check = analysis::MakePressureCheck(
+      storage::kUnpackBitsLiveValues, storage::kUnpackBitsConstants,
+      CpuFeatures::Get().BestIsa());
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] {
+              storage::UnpackBitsArray(cfg, words.data(), kWidth,
+                                       /*first=*/0, scratch.iota(),
+                                       out.data(), options.elements);
+            },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneForAdd(const KernelTuneOptions& options) {
+  AlignedBuffer<std::uint64_t> in(options.elements, 256);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+  Rng rng(37);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = rng.Uniform(0, 1 << 16);
+  }
+
+  const auto& grid = storage::ForAddSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model,
+          {storage::ForAddKernelOps(), CpuFeatures::Get().BestIsa()}),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] {
+              storage::ForAddArray(cfg, /*base=*/19920101, in.data(),
+                                   out.data(), in.size());
+            },
+            options.repetitions);
+      },
+      tune);
+}
+
+TuneResult TuneDictGather(const KernelTuneOptions& options) {
+  // Dictionary sized at the encoder's distinct-value cap: the worst
+  // (most cache-hungry) dictionary a chunk can carry.
+  const std::size_t dict_size = storage::kDictDistinctCap;
+  AlignedBuffer<std::uint64_t> dict(dict_size, 256);
+  AlignedBuffer<std::uint64_t> codes(options.elements, 256);
+  AlignedBuffer<std::uint64_t> out(options.elements, 256);
+  Rng rng(41);
+  for (std::size_t i = 0; i < dict.size(); ++i) dict[i] = rng.Next();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = rng.Uniform(0, dict_size - 1);
+  }
+
+  const auto& grid = storage::DictGatherSupportedConfigs();
+  const HybridConfig initial = ClampToGrid(
+      GenerateInitialCandidate(
+          options.model,
+          {storage::DictGatherKernelOps(), CpuFeatures::Get().BestIsa()},
+          kGatherLiveValues, kGatherConstants),
+      grid);
+  TuneOptions tune;
+  tune.is_supported = InGrid(grid);
+  tune.static_check = analysis::MakePressureCheck(
+      kGatherLiveValues, kGatherConstants, CpuFeatures::Get().BestIsa());
+  return Tune(
+      initial,
+      [&](const HybridConfig& cfg) {
+        return MeasureSeconds(
+            [&] {
+              storage::DictGatherArray(cfg, dict.data(), codes.data(),
+                                       out.data(), codes.size());
             },
             options.repetitions);
       },

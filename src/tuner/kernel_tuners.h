@@ -46,6 +46,11 @@ TuneResult TuneProbe(const KernelTuneOptions& options = {});
 TuneResult TuneGather(const KernelTuneOptions& options = {});
 TuneResult TuneBloomProbe(const KernelTuneOptions& options = {});
 TuneResult TuneSumReduce(const KernelTuneOptions& options = {});
+// Chunk-decode kernels (storage/decode.h): bit-unpack over a packed
+// payload, frame-of-reference add, dictionary-code gather.
+TuneResult TuneUnpackBits(const KernelTuneOptions& options = {});
+TuneResult TuneForAdd(const KernelTuneOptions& options = {});
+TuneResult TuneDictGather(const KernelTuneOptions& options = {});
 
 }  // namespace hef
 

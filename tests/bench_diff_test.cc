@@ -210,6 +210,63 @@ TEST(BenchDiffTest, RejectsNonBenchDocuments) {
                    .ok());
 }
 
+// Variant-tagged rows: same query under two encodings must stay two
+// distinct rows, unless the variant cells are explicitly ignored.
+std::string MakeVariantReport(const char* encoding, double q1_ms) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema\":\"hef-bench-v1\",\"bench\":\"ssb_throughput\","
+      "\"config\":{},"
+      "\"results\":[{\"query\":\"Q1.1\",\"encoding\":\"%s\","
+      "\"p50_ms\":%f}]}",
+      encoding, q1_ms);
+  return buf;
+}
+
+TEST(BenchDiffTest, VariantCellsSeparateRowsByDefault) {
+  const auto merged = MergeBenchReports(
+      {MakeVariantReport("flat", 4.0), MakeVariantReport("auto", 2.0)});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // Self-diff of the merged doc: both variant rows must match their own
+  // counterpart, not each other.
+  const auto diff = DiffBenchReports(*merged, *merged, {});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->matched_rows, 2);
+  EXPECT_TRUE(diff->unmatched_baseline_rows.empty());
+  EXPECT_FALSE(diff->HasRegressions(/*strict=*/true));
+}
+
+TEST(BenchDiffTest, IgnoreFieldsMatchesAcrossVariants) {
+  BenchDiffOptions options;
+  options.ignore_fields = {"encoding"};
+  const auto diff =
+      DiffBenchReports(MakeVariantReport("flat", 4.0),
+                       MakeVariantReport("auto", 2.0), options);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->matched_rows, 1);
+  ASSERT_EQ(diff->metrics.size(), 1u);
+  EXPECT_EQ(diff->metrics[0].metric, "p50_ms");
+  // 4ms -> 2ms is an improvement once the variant axis is ignored.
+  EXPECT_EQ(diff->metrics[0].verdict, MetricVerdict::kImproved);
+}
+
+TEST(BenchDiffTest, MergePreservesRowsAndValidatesInputs) {
+  const auto merged = MergeBenchReports(
+      {MakeReport(100, 2.0, 4.0), MakeVariantReport("auto", 2.0)});
+  ASSERT_TRUE(merged.ok());
+  const auto doc = JsonValue::Parse(*merged);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->StringOr("schema", ""), "hef-bench-v1");
+  EXPECT_EQ(doc->StringOr("bench", ""), "ssb_throughput");
+  EXPECT_EQ(doc->Find("results")->array().size(), 4u);
+  EXPECT_EQ(doc->Find("configs")->array().size(), 2u);
+
+  EXPECT_FALSE(MergeBenchReports({}).ok());
+  EXPECT_FALSE(MergeBenchReports({"{\"schema\":\"other\"}"}).ok());
+  EXPECT_FALSE(MergeBenchReports({"not json"}).ok());
+}
+
 TEST(BenchDiffTest, JsonReportIsParseableAndCarriesVerdicts) {
   const auto diff =
       DiffBenchReports(MakeReport(100.0, 4.0, 8.0),

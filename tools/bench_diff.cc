@@ -1,7 +1,9 @@
 // bench_diff — noise-aware comparison of two hef-bench-v1 reports.
 //
-//   bench_diff BASELINE.json CANDIDATE.json [--mad_k=3] [--floor=0.05]
-//              [--json=PATH] [--strict]
+//   bench_diff BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
+//              [--mad_k=3] [--floor=0.05] [--json=PATH] [--strict]
+//              [--ignore=FIELD,FIELD]
+//   bench_diff --merge=OUT.json REPORT.json [REPORT2.json ...]
 //
 // Prints a per-metric verdict table (improved / regressed / within-noise /
 // missing-metric) and exits 0 when no metric regressed beyond its noise
@@ -9,6 +11,14 @@
 // unmatched baseline rows), 2 on usage or parse errors. Designed as a CI
 // gate: `bench_diff BENCH_BASELINE.json fresh.json` after a perf-smoke
 // run. --json writes the machine-readable hef-bench-diff-v1 document.
+//
+// Multiple candidates are merged (results concatenated) before diffing —
+// the shape of a multi-variant baseline: one harness run per variant
+// (e.g. --encoding=flat and --encoding=auto --pruning), rows tagged with
+// the variant axis. --merge writes that merged document and exits; it is
+// how BENCH_BASELINE.json itself is refreshed. --ignore drops the named
+// string cells from row identity, so variant-tagged rows can be matched
+// ACROSS variants (flat baseline vs pruned candidate).
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,9 +50,26 @@ bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: bench_diff BASELINE.json CANDIDATE.json"
-               " [--mad_k=K] [--floor=F] [--json=PATH] [--strict]\n");
+               "usage: bench_diff BASELINE.json CANDIDATE.json [MORE...]"
+               " [--mad_k=K] [--floor=F] [--json=PATH] [--strict]"
+               " [--ignore=FIELD,...]\n"
+               "       bench_diff --merge=OUT.json REPORT.json [MORE...]\n");
   return 2;
+}
+
+std::vector<std::string> SplitCommas(const char* text) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char* p = text;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      item += *p;
+      continue;
+    }
+    if (!item.empty()) out.push_back(item);
+    item.clear();
+    if (*p == '\0') break;
+  }
+  return out;
 }
 
 }  // namespace
@@ -51,6 +78,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   hef::telemetry::BenchDiffOptions options;
   std::string json_path;
+  std::string merge_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) {
@@ -64,12 +92,49 @@ int main(int argc, char** argv) {
       // parsed in the condition
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json_path = arg + 7;
+    } else if (std::strncmp(arg, "--merge=", 8) == 0) {
+      merge_path = arg + 8;
+    } else if (std::strncmp(arg, "--ignore=", 9) == 0) {
+      options.ignore_fields = SplitCommas(arg + 9);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage();
     }
   }
-  if (positional.size() != 2) return Usage();
+
+  if (!merge_path.empty()) {
+    // Merge mode: concatenate the given reports and write the result.
+    if (positional.empty()) return Usage();
+    std::vector<std::string> docs(positional.size());
+    for (std::size_t i = 0; i < positional.size(); ++i) {
+      if (!ReadFile(positional[i], &docs[i])) {
+        std::fprintf(stderr, "cannot read '%s'\n", positional[i].c_str());
+        return 2;
+      }
+    }
+    hef::Result<std::string> merged =
+        hef::telemetry::MergeBenchReports(docs);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "bench_diff: %s\n",
+                   merged.status().ToString().c_str());
+      return 2;
+    }
+    if (merge_path == "-") {
+      std::printf("%s\n", merged->c_str());
+      return 0;
+    }
+    std::ofstream out(merge_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", merge_path.c_str());
+      return 2;
+    }
+    out << *merged << "\n";
+    std::printf("merged %zu reports into %s\n", positional.size(),
+                merge_path.c_str());
+    return 0;
+  }
+
+  if (positional.size() < 2) return Usage();
 
   std::string baseline, candidate;
   if (!ReadFile(positional[0], &baseline)) {
@@ -77,10 +142,30 @@ int main(int argc, char** argv) {
                  positional[0].c_str());
     return 2;
   }
-  if (!ReadFile(positional[1], &candidate)) {
-    std::fprintf(stderr, "cannot read candidate '%s'\n",
-                 positional[1].c_str());
-    return 2;
+  if (positional.size() == 2) {
+    if (!ReadFile(positional[1], &candidate)) {
+      std::fprintf(stderr, "cannot read candidate '%s'\n",
+                   positional[1].c_str());
+      return 2;
+    }
+  } else {
+    // Several candidate files: merge their rows first.
+    std::vector<std::string> docs(positional.size() - 1);
+    for (std::size_t i = 1; i < positional.size(); ++i) {
+      if (!ReadFile(positional[i], &docs[i - 1])) {
+        std::fprintf(stderr, "cannot read candidate '%s'\n",
+                     positional[i].c_str());
+        return 2;
+      }
+    }
+    hef::Result<std::string> merged =
+        hef::telemetry::MergeBenchReports(docs);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "bench_diff: %s\n",
+                   merged.status().ToString().c_str());
+      return 2;
+    }
+    candidate = std::move(*merged);
   }
 
   hef::Result<hef::telemetry::BenchDiffReport> diff =

@@ -42,7 +42,9 @@
 #include "perf/pmu_sampler.h"
 #include "portmodel/port_model.h"
 #include "procinfo/cpu_features.h"
+#include "ssb/chunked_fact.h"
 #include "ssb/database.h"
+#include "storage/encoding.h"
 #include "telemetry/bench_report.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/json_writer.h"
@@ -127,6 +129,9 @@ int CmdTune(int argc, char** argv) {
       {"crc64", TuneCrc64(options)},
       {"probe", TuneProbe(options)},
       {"gather", TuneGather(options)},
+      {"unpack_bits", TuneUnpackBits(options)},
+      {"for_add", TuneForAdd(options)},
+      {"dict_gather", TuneDictGather(options)},
   };
   TextTable table;
   table.AddRow({"operator", "optimum", "nodes tested", "best (ms)"});
@@ -197,6 +202,13 @@ int CmdQuery(int argc, char** argv) {
   flags.AddString("explain_json", "",
                   "write the hybrid engine's hef-explain-v1 JSON document "
                   "to this path (- for stdout); implies stats collection");
+  flags.AddString("encoding", "flat",
+                  "fact-table storage for the hef engines: flat (plain "
+                  "arrays) or a chunked-shadow policy — auto | plain | "
+                  "dict | for (voila always scans flat)");
+  flags.AddBool("pruning", false,
+                "zone-map / histogram chunk pruning (requires a chunked "
+                "--encoding); prune counts land in --explain output");
   if (!flags.Parse(argc, argv).ok() || flags.HelpRequested()) {
     flags.PrintUsage("hef query");
     return flags.HelpRequested() ? 0 : 1;
@@ -219,9 +231,34 @@ int CmdQuery(int argc, char** argv) {
       flags.GetBool("stats") || explain || !explain_json_path.empty();
   const std::string json_path = flags.GetString("json");
 
+  const std::string encoding = flags.GetString("encoding");
+  const bool chunked = encoding != "flat";
+  const bool pruning = flags.GetBool("pruning");
+  storage::EncodingPolicy policy = storage::EncodingPolicy::kAuto;
+  if (chunked &&
+      !storage::EncodingPolicyByName(encoding.c_str(), &policy)) {
+    std::fprintf(stderr,
+                 "--encoding=%s: want flat | auto | plain | dict | for\n",
+                 encoding.c_str());
+    return 1;
+  }
+  if (pruning && !chunked) {
+    std::fprintf(stderr, "--pruning requires a chunked --encoding\n");
+    return 1;
+  }
+
   std::printf("%s\n\n", QuerySql(query.value()));
-  const ssb::SsbDatabase db =
-      ssb::SsbDatabase::Generate(flags.GetDouble("sf"));
+  ssb::SsbDatabase db = ssb::SsbDatabase::Generate(flags.GetDouble("sf"));
+  if (chunked) {
+    ssb::ChunkedFactOptions chunk_options;
+    chunk_options.policy = policy;
+    ssb::EnsureChunked(db, chunk_options);
+    std::printf("encoding %s: %zu chunks, %.2fx compression, pruning %s\n",
+                encoding.c_str(), db.chunked->num_chunks(),
+                static_cast<double>(db.chunked->PlainBytes()) /
+                    static_cast<double>(db.chunked->EncodedBytes()),
+                pruning ? "on" : "off");
+  }
 
   EngineConfig hybrid_cfg;
   hybrid_cfg.flavor = Flavor::kHybrid;
@@ -288,6 +325,8 @@ int CmdQuery(int argc, char** argv) {
   scalar_cfg.collect_stats = stats;
   scalar_cfg.collect_pmu = stats;
   scalar_cfg.threads = threads.value();
+  scalar_cfg.chunked_scan = chunked;
+  scalar_cfg.scan_pruning = pruning;
   SsbEngine scalar_engine(db, scalar_cfg);
   run("scalar", scalar_engine,
       MakeExplainMeta(QueryName(query.value()), "scalar", scalar_cfg));
@@ -296,12 +335,16 @@ int CmdQuery(int argc, char** argv) {
   simd_cfg.collect_stats = stats;
   simd_cfg.collect_pmu = stats;
   simd_cfg.threads = threads.value();
+  simd_cfg.chunked_scan = chunked;
+  simd_cfg.scan_pruning = pruning;
   SsbEngine simd_engine(db, simd_cfg);
   run("simd", simd_engine,
       MakeExplainMeta(QueryName(query.value()), "simd", simd_cfg));
   hybrid_cfg.collect_stats = stats;
   hybrid_cfg.collect_pmu = stats;
   hybrid_cfg.threads = threads.value();
+  hybrid_cfg.chunked_scan = chunked;
+  hybrid_cfg.scan_pruning = pruning;
   SsbEngine hybrid_engine(db, hybrid_cfg);
   run("hybrid", hybrid_engine,
       MakeExplainMeta(QueryName(query.value()), "hybrid", hybrid_cfg));
